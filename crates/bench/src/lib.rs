@@ -1,0 +1,1 @@
+//! Experiment harnesses (under construction).

@@ -1,0 +1,287 @@
+//! The `application/dns-json` representation (draft-bortzmeyer-dns-json,
+//! as deployed by Google and Cloudflare's JSON APIs).
+//!
+//! The paper's landscape survey (Table 2) probes providers for this content
+//! type alongside the RFC-mandated `application/dns-message`. The shape here
+//! follows the deployed Google/Cloudflare APIs: `Status`, flag booleans, and
+//! `Question`/`Answer` arrays with numeric types and string `data`.
+
+use crate::error::{DnsError, Result};
+use crate::header::Rcode;
+use crate::message::Message;
+use crate::name::Name;
+use crate::rdata::Rdata;
+use crate::record::{Record, RecordType};
+use serde::{Deserialize, Serialize};
+
+/// JSON form of one question entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JsonQuestion {
+    /// Queried name in presentation format with trailing dot.
+    pub name: String,
+    /// Numeric record type.
+    #[serde(rename = "type")]
+    pub qtype: u16,
+}
+
+/// JSON form of one answer record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JsonAnswer {
+    /// Owner name in presentation format.
+    pub name: String,
+    /// Numeric record type.
+    #[serde(rename = "type")]
+    pub rtype: u16,
+    /// Time to live in seconds.
+    #[serde(rename = "TTL")]
+    pub ttl: u32,
+    /// Record data in presentation format.
+    pub data: String,
+}
+
+/// JSON form of a DNS response message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JsonMessage {
+    /// Response code (`Status` in the deployed APIs).
+    #[serde(rename = "Status")]
+    pub status: u16,
+    /// Truncation flag.
+    #[serde(rename = "TC")]
+    pub tc: bool,
+    /// Recursion desired.
+    #[serde(rename = "RD")]
+    pub rd: bool,
+    /// Recursion available.
+    #[serde(rename = "RA")]
+    pub ra: bool,
+    /// Authenticated data.
+    #[serde(rename = "AD")]
+    pub ad: bool,
+    /// Checking disabled.
+    #[serde(rename = "CD")]
+    pub cd: bool,
+    /// Question section.
+    #[serde(rename = "Question")]
+    pub question: Vec<JsonQuestion>,
+    /// Answer section; omitted when empty, as the deployed APIs do.
+    #[serde(rename = "Answer", default, skip_serializing_if = "Vec::is_empty")]
+    pub answer: Vec<JsonAnswer>,
+}
+
+impl JsonMessage {
+    /// Converts a wireformat message into its JSON form.
+    ///
+    /// Only record types with a natural presentation `data` string are
+    /// representable; others are carried as hex, mirroring how deployed
+    /// APIs fall back for unknown types.
+    pub fn from_message(msg: &Message) -> JsonMessage {
+        JsonMessage {
+            status: msg.header.rcode.to_u8() as u16,
+            tc: msg.header.truncated,
+            rd: msg.header.recursion_desired,
+            ra: msg.header.recursion_available,
+            ad: msg.header.authentic_data,
+            cd: msg.header.checking_disabled,
+            question: msg
+                .questions
+                .iter()
+                .map(|q| JsonQuestion { name: q.name.to_string(), qtype: q.qtype.to_u16() })
+                .collect(),
+            answer: msg.answers.iter().map(Self::answer_from_record).collect(),
+        }
+    }
+
+    fn answer_from_record(rec: &Record) -> JsonAnswer {
+        let data = match &rec.rdata {
+            Rdata::A(a) => a.to_string(),
+            Rdata::Aaaa(a) => a.to_string(),
+            Rdata::Cname(n) | Rdata::Ns(n) | Rdata::Ptr(n) => n.to_string(),
+            Rdata::Mx { preference, exchange } => format!("{preference} {exchange}"),
+            Rdata::Txt(strings) => format!("\"{}\"", strings.join("\" \"")),
+            Rdata::Soa(soa) => format!(
+                "{} {} {} {} {} {} {}",
+                soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
+            ),
+            Rdata::Srv(srv) => {
+                format!("{} {} {} {}", srv.priority, srv.weight, srv.port, srv.target)
+            }
+            Rdata::Caa(caa) => {
+                format!("{} {} \"{}\"", if caa.critical { 128 } else { 0 }, caa.tag, caa.value)
+            }
+            Rdata::Opt(_) => String::new(),
+            Rdata::Unknown { data, .. } => {
+                data.iter().map(|b| format!("{b:02x}")).collect::<String>()
+            }
+        };
+        JsonAnswer {
+            name: rec.name.to_string(),
+            rtype: rec.rtype().to_u16(),
+            ttl: rec.ttl,
+            data,
+        }
+    }
+
+    /// Converts the JSON form back into a wireformat message.
+    ///
+    /// `id` must be supplied by the caller: the JSON APIs run over HTTPS
+    /// where the transaction id is redundant, so it is not part of the JSON.
+    pub fn to_message(&self, id: u16) -> Result<Message> {
+        let mut msg = Message {
+            header: crate::header::Header::new_query(id),
+            questions: Vec::new(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        msg.header.response = true;
+        msg.header.rcode = Rcode::from_u8(self.status as u8);
+        msg.header.truncated = self.tc;
+        msg.header.recursion_desired = self.rd;
+        msg.header.recursion_available = self.ra;
+        msg.header.authentic_data = self.ad;
+        msg.header.checking_disabled = self.cd;
+        for q in &self.question {
+            let name = Name::parse(&q.name).map_err(|e| DnsError::Json(e.to_string()))?;
+            msg.questions
+                .push(crate::message::Question::new(name, RecordType::from_u16(q.qtype)));
+        }
+        for a in &self.answer {
+            msg.answers.push(Self::record_from_answer(a)?);
+        }
+        Ok(msg)
+    }
+
+    fn record_from_answer(a: &JsonAnswer) -> Result<Record> {
+        let name = Name::parse(&a.name).map_err(|e| DnsError::Json(e.to_string()))?;
+        let rtype = RecordType::from_u16(a.rtype);
+        let bad = |what: &str| DnsError::Json(format!("bad {what} data: {}", a.data));
+        let rdata = match rtype {
+            RecordType::A => Rdata::A(a.data.parse().map_err(|_| bad("A"))?),
+            RecordType::Aaaa => Rdata::Aaaa(a.data.parse().map_err(|_| bad("AAAA"))?),
+            RecordType::Cname => Rdata::Cname(Name::parse(&a.data).map_err(|_| bad("CNAME"))?),
+            RecordType::Ns => Rdata::Ns(Name::parse(&a.data).map_err(|_| bad("NS"))?),
+            RecordType::Ptr => Rdata::Ptr(Name::parse(&a.data).map_err(|_| bad("PTR"))?),
+            RecordType::Mx => {
+                let (pref, exch) = a.data.split_once(' ').ok_or_else(|| bad("MX"))?;
+                Rdata::Mx {
+                    preference: pref.parse().map_err(|_| bad("MX preference"))?,
+                    exchange: Name::parse(exch).map_err(|_| bad("MX exchange"))?,
+                }
+            }
+            RecordType::Txt => {
+                let strings = a
+                    .data
+                    .trim_matches('"')
+                    .split("\" \"")
+                    .map(|s| s.to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                Rdata::Txt(strings)
+            }
+            _ => {
+                // Round-trip unknown-as-hex; anything else stays opaque.
+                let bytes = (0..a.data.len() / 2)
+                    .map(|i| u8::from_str_radix(&a.data[2 * i..2 * i + 2], 16))
+                    .collect::<std::result::Result<Vec<_>, _>>()
+                    .map_err(|_| bad("hex"))?;
+                Rdata::Unknown { rtype: a.rtype, data: bytes }
+            }
+        };
+        Ok(Record::new(name, a.ttl, rdata))
+    }
+
+    /// Serialises to the on-wire JSON text.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("JsonMessage is always serialisable")
+    }
+
+    /// Parses on-wire JSON text.
+    pub fn from_json(text: &str) -> Result<JsonMessage> {
+        serde_json::from_str(text).map_err(|e| DnsError::Json(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use std::net::Ipv4Addr;
+
+    fn sample_response() -> Message {
+        let q = Message::query(7, &Name::parse("example.com").unwrap(), RecordType::A);
+        Message::fixed_a_response(&q, Ipv4Addr::new(93, 184, 216, 34), 300)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_answers() {
+        let msg = sample_response();
+        let j = JsonMessage::from_message(&msg);
+        let text = j.to_json();
+        let back = JsonMessage::from_json(&text).unwrap().to_message(7).unwrap();
+        assert_eq!(back.answers, msg.answers);
+        assert_eq!(back.questions, msg.questions);
+        assert_eq!(back.header.rcode, msg.header.rcode);
+    }
+
+    #[test]
+    fn json_uses_deployed_field_names() {
+        let j = JsonMessage::from_message(&sample_response());
+        let text = j.to_json();
+        for field in ["\"Status\"", "\"TC\"", "\"RD\"", "\"RA\"", "\"Question\"", "\"Answer\"", "\"TTL\""] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+
+    #[test]
+    fn nxdomain_status_round_trips() {
+        let q = Message::query(1, &Name::parse("nope.example").unwrap(), RecordType::A);
+        let resp = Message::response(&q, Rcode::NxDomain, vec![]);
+        let j = JsonMessage::from_message(&resp);
+        assert_eq!(j.status, 3);
+        let back = JsonMessage::from_json(&j.to_json()).unwrap();
+        assert_eq!(back.to_message(1).unwrap().header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn empty_answer_array_is_omitted() {
+        let q = Message::query(1, &Name::parse("x.example").unwrap(), RecordType::A);
+        let resp = Message::response(&q, Rcode::NoError, vec![]);
+        let text = JsonMessage::from_message(&resp).to_json();
+        assert!(!text.contains("\"Answer\""));
+        assert!(JsonMessage::from_json(&text).unwrap().answer.is_empty());
+    }
+
+    #[test]
+    fn cname_and_mx_data_round_trip() {
+        let q = Message::query(2, &Name::parse("x.example").unwrap(), RecordType::A);
+        let mut resp = Message::response(&q, Rcode::NoError, vec![]);
+        resp.answers.push(Record::new(
+            Name::parse("x.example").unwrap(),
+            60,
+            Rdata::Cname(Name::parse("y.example").unwrap()),
+        ));
+        resp.answers.push(Record::new(
+            Name::parse("x.example").unwrap(),
+            60,
+            Rdata::Mx { preference: 10, exchange: Name::parse("mail.example").unwrap() },
+        ));
+        let j = JsonMessage::from_message(&resp);
+        let back = JsonMessage::from_json(&j.to_json()).unwrap().to_message(2).unwrap();
+        assert_eq!(back.answers, resp.answers);
+    }
+
+    #[test]
+    fn garbage_json_is_an_error() {
+        assert!(JsonMessage::from_json("{not json").is_err());
+        assert!(JsonMessage::from_json("{\"Status\": \"zero\"}").is_err());
+    }
+
+    #[test]
+    fn json_is_larger_than_wireformat() {
+        // The paper notes dns-json is a convenience, not an efficiency; our
+        // codec reproduces that: JSON text exceeds the binary encoding.
+        let msg = sample_response();
+        let json_len = JsonMessage::from_message(&msg).to_json().len();
+        assert!(json_len > msg.wire_len(), "{json_len} <= {}", msg.wire_len());
+    }
+}

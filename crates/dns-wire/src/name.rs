@@ -1,0 +1,405 @@
+//! Domain names: parsing, wire encoding with RFC 1035 compression, decoding.
+
+use crate::error::{DnsError, Result};
+use crate::wire::{Reader, Writer};
+use std::fmt;
+
+/// Maximum length of a single label, per RFC 1035 §2.3.4.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name on the wire, per RFC 1035 §2.3.4.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified domain name.
+///
+/// Stored as a sequence of lowercase labels; comparison is therefore
+/// case-insensitive as required by RFC 1035 §2.3.3. The root name has zero
+/// labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The DNS root (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses a presentation-format name such as `"www.example.com."`.
+    ///
+    /// A trailing dot is optional. Labels are validated for length and
+    /// restricted to LDH (letters, digits, hyphen) plus underscore, which
+    /// appears in real query traffic (e.g. `_dmarc`, service records).
+    pub fn parse(s: &str) -> Result<Self> {
+        if s == "." || s.is_empty() {
+            return Ok(Name::root());
+        }
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        let mut labels = Vec::new();
+        for label in trimmed.split('.') {
+            Self::validate_label(label)?;
+            labels.push(label.to_ascii_lowercase());
+        }
+        let name = Name { labels };
+        let wire_len = name.wire_len();
+        if wire_len > MAX_NAME_LEN {
+            return Err(DnsError::NameTooLong(wire_len));
+        }
+        Ok(name)
+    }
+
+    fn validate_label(label: &str) -> Result<()> {
+        if label.is_empty() {
+            return Err(DnsError::InvalidLabel(b'.'));
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(DnsError::LabelTooLong(label.len()));
+        }
+        for &b in label.as_bytes() {
+            let ok = b.is_ascii_alphanumeric() || b == b'-' || b == b'_';
+            if !ok {
+                return Err(DnsError::InvalidLabel(b));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a name from pre-validated label strings.
+    pub fn from_labels<I, S>(iter: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut labels = Vec::new();
+        for l in iter {
+            Self::validate_label(l.as_ref())?;
+            labels.push(l.as_ref().to_ascii_lowercase());
+        }
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(DnsError::NameTooLong(name.wire_len()));
+        }
+        Ok(name)
+    }
+
+    /// The labels, left-to-right (`www`, `example`, `com`).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Creates a child name `label.self`.
+    pub fn child(&self, label: &str) -> Result<Name> {
+        Self::validate_label(label)?;
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_ascii_lowercase());
+        labels.extend(self.labels.iter().cloned());
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(DnsError::NameTooLong(name.wire_len()));
+        }
+        Ok(name)
+    }
+
+    /// The parent name (strips the leftmost label); `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// Whether `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// Uncompressed wire length: each label costs `1 + len`, plus the root
+    /// octet.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// Encodes the name, emitting a compression pointer when the writer has
+    /// already encoded a matching suffix (RFC 1035 §4.1.4).
+    pub fn encode(&self, w: &mut Writer) {
+        // Walk suffixes from the full name down; the longest previously
+        // written suffix wins.
+        let mut idx = 0;
+        while idx < self.labels.len() {
+            let suffix = self.labels[idx..].to_vec();
+            if let Some(off) = w.find_suffix(&suffix) {
+                w.u16(0xC000 | off as u16);
+                return;
+            }
+            // Not yet known: write this label and register the suffix that
+            // starts here for future messages.
+            w.register_suffix(suffix, w.len());
+            let label = &self.labels[idx];
+            w.u8(label.len() as u8);
+            w.bytes(label.as_bytes());
+            idx += 1;
+        }
+        w.u8(0); // root
+    }
+
+    /// Decodes a (possibly compressed) name at the reader's position.
+    ///
+    /// Pointers must point strictly backwards; loops and forward pointers
+    /// are rejected.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Name> {
+        let mut labels = Vec::new();
+        let mut wire_len = 1usize; // terminal root octet
+        // Position to restore once the first pointer is followed.
+        let mut resume: Option<usize> = None;
+        // Strictly decreasing pointer targets prevent loops.
+        let mut min_ptr = r.position();
+
+        loop {
+            let len = r.u8("name label length")?;
+            match len & 0xC0 {
+                0x00 => {
+                    if len == 0 {
+                        break;
+                    }
+                    let raw = r.bytes(len as usize, "name label")?;
+                    let mut label = String::with_capacity(len as usize);
+                    for &b in raw {
+                        if !(b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+                            return Err(DnsError::InvalidLabel(b));
+                        }
+                        label.push(b.to_ascii_lowercase() as char);
+                    }
+                    wire_len += 1 + label.len();
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(DnsError::NameTooLong(wire_len));
+                    }
+                    labels.push(label);
+                }
+                0xC0 => {
+                    let lo = r.u8("compression pointer")?;
+                    let target = (((len & 0x3F) as usize) << 8) | lo as usize;
+                    if target >= min_ptr {
+                        return Err(DnsError::BadPointer(target));
+                    }
+                    if resume.is_none() {
+                        resume = Some(r.position());
+                    }
+                    min_ptr = target;
+                    r.seek(target)?;
+                }
+                other => return Err(DnsError::BadLabelType(other)),
+            }
+        }
+
+        if let Some(pos) = resume {
+            r.seek(pos)?;
+        }
+        Ok(Name { labels })
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for label in &self.labels {
+            write!(f, "{label}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = DnsError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode_one(name: &Name) -> Vec<u8> {
+        let mut w = Writer::new();
+        name.encode(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["example.com.", "www.example.com.", "a.b.c.d.e.", "xn--nxasmq6b.example."] {
+            let n = Name::parse(s).unwrap();
+            assert_eq!(n.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn trailing_dot_is_optional() {
+        assert_eq!(Name::parse("example.com").unwrap(), Name::parse("example.com.").unwrap());
+    }
+
+    #[test]
+    fn names_compare_case_insensitively() {
+        assert_eq!(Name::parse("EXAMPLE.Com").unwrap(), Name::parse("example.com").unwrap());
+    }
+
+    #[test]
+    fn root_name() {
+        let root = Name::parse(".").unwrap();
+        assert!(root.is_root());
+        assert_eq!(root.wire_len(), 1);
+        assert_eq!(encode_one(&root), vec![0]);
+    }
+
+    #[test]
+    fn simple_encoding_matches_rfc_layout() {
+        let n = Name::parse("example.com").unwrap();
+        let wire = encode_one(&n);
+        assert_eq!(
+            wire,
+            [b"\x07example\x03com\x00".as_ref()].concat(),
+        );
+        assert_eq!(wire.len(), n.wire_len());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let n = Name::parse("www.sub.example.co.uk").unwrap();
+        let wire = encode_one(&n);
+        let mut r = Reader::new(&wire);
+        assert_eq!(Name::decode(&mut r).unwrap(), n);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn second_name_is_compressed_to_a_pointer() {
+        let a = Name::parse("example.com").unwrap();
+        let b = Name::parse("www.example.com").unwrap();
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let after_first = w.len();
+        b.encode(&mut w);
+        let wire = w.finish();
+        // Second name = 1+3 ("www") + 2 (pointer) bytes.
+        assert_eq!(wire.len(), after_first + 4 + 2);
+        let mut r = Reader::new(&wire);
+        assert_eq!(Name::decode(&mut r).unwrap(), a);
+        assert_eq!(Name::decode(&mut r).unwrap(), b);
+    }
+
+    #[test]
+    fn identical_name_compresses_to_bare_pointer() {
+        let a = Name::parse("example.com").unwrap();
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let first = w.len();
+        a.encode(&mut w);
+        let wire = w.finish();
+        assert_eq!(wire.len(), first + 2);
+        let mut r = Reader::new(&wire);
+        assert_eq!(Name::decode(&mut r).unwrap(), a);
+        assert_eq!(Name::decode(&mut r).unwrap(), a);
+    }
+
+    #[test]
+    fn uncompressed_writer_repeats_full_name() {
+        let a = Name::parse("example.com").unwrap();
+        let mut w = Writer::uncompressed();
+        a.encode(&mut w);
+        a.encode(&mut w);
+        assert_eq!(w.finish().len(), 2 * a.wire_len());
+    }
+
+    #[test]
+    fn pointer_loop_is_rejected() {
+        // A name that immediately points at itself.
+        let wire = [0xC0, 0x00];
+        let mut r = Reader::new(&wire);
+        assert!(matches!(Name::decode(&mut r), Err(DnsError::BadPointer(_))));
+    }
+
+    #[test]
+    fn forward_pointer_is_rejected() {
+        let wire = [0xC0, 0x04, 0, 0, 0x03, b'c', b'o', b'm', 0x00];
+        let mut r = Reader::new(&wire);
+        assert!(matches!(Name::decode(&mut r), Err(DnsError::BadPointer(4))));
+    }
+
+    #[test]
+    fn long_label_is_rejected() {
+        let label = "a".repeat(64);
+        assert!(matches!(Name::parse(&label), Err(DnsError::LabelTooLong(64))));
+    }
+
+    #[test]
+    fn overlong_name_is_rejected() {
+        let label = "a".repeat(63);
+        let name = format!("{label}.{label}.{label}.{label}.x");
+        assert!(matches!(Name::parse(&name), Err(DnsError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn empty_label_is_rejected() {
+        assert!(Name::parse("a..b").is_err());
+    }
+
+    #[test]
+    fn bad_characters_are_rejected() {
+        assert!(Name::parse("exa mple.com").is_err());
+        assert!(Name::parse("exa\u{e9}mple.com").is_err());
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let com = Name::parse("com").unwrap();
+        let ex = Name::parse("example.com").unwrap();
+        let www = Name::parse("www.example.com").unwrap();
+        assert!(www.is_subdomain_of(&ex));
+        assert!(www.is_subdomain_of(&com));
+        assert!(ex.is_subdomain_of(&ex));
+        assert!(!ex.is_subdomain_of(&www));
+        assert!(www.is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let ex = Name::parse("example.com").unwrap();
+        let www = ex.child("www").unwrap();
+        assert_eq!(www.to_string(), "www.example.com.");
+        assert_eq!(www.parent().unwrap(), ex);
+        assert!(Name::root().parent().is_none());
+    }
+
+    #[test]
+    fn bad_label_type_bits_rejected() {
+        // 0x40 and 0x80 top bits are reserved/unsupported.
+        let wire = [0x40, 0x00];
+        let mut r = Reader::new(&wire);
+        assert!(matches!(Name::decode(&mut r), Err(DnsError::BadLabelType(0x40))));
+    }
+
+    #[test]
+    fn truncated_label_is_an_error() {
+        let wire = [0x05, b'a', b'b'];
+        let mut r = Reader::new(&wire);
+        assert!(matches!(Name::decode(&mut r), Err(DnsError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,234 @@
+//! Low-level bounds-checked cursor primitives shared by the codecs.
+
+use crate::error::{DnsError, Result};
+
+/// A bounds-checked reader over a DNS message buffer.
+///
+/// Unlike a plain slice cursor, the reader keeps the *whole* message
+/// available so that compression pointers can jump backwards.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current offset from the start of the message.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Repositions the reader; used when following compression pointers.
+    pub fn seek(&mut self, pos: usize) -> Result<()> {
+        if pos > self.buf.len() {
+            return Err(DnsError::BadPointer(pos));
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the entire buffer.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The full underlying message buffer.
+    pub fn message(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Reads one octet.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8> {
+        if self.pos >= self.buf.len() {
+            return Err(DnsError::Truncated { context });
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16> {
+        let hi = self.u8(context)?;
+        let lo = self.u8(context)?;
+        Ok(u16::from_be_bytes([hi, lo]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32> {
+        let a = self.u8(context)?;
+        let b = self.u8(context)?;
+        let c = self.u8(context)?;
+        let d = self.u8(context)?;
+        Ok(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Reads exactly `n` bytes.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DnsError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// An append-only writer that tracks name-compression targets.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+    /// (encoded name suffix, offset) pairs usable as compression targets.
+    name_offsets: Vec<(Vec<String>, usize)>,
+    /// When `false`, names are written without compression pointers.
+    compress: bool,
+}
+
+impl Writer {
+    /// Creates a writer with name compression enabled (the normal mode).
+    pub fn new() -> Self {
+        Writer { buf: Vec::with_capacity(512), name_offsets: Vec::new(), compress: true }
+    }
+
+    /// Creates a writer that never emits compression pointers.
+    pub fn uncompressed() -> Self {
+        Writer { compress: false, ..Writer::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether compression pointers may be emitted.
+    pub fn compression_enabled(&self) -> bool {
+        self.compress
+    }
+
+    /// Consumes the writer, returning the finished buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one octet.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrites the big-endian `u16` at `offset` (used for RDLENGTH
+    /// back-patching after the RDATA is known).
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Looks up a previously written name suffix equal to `labels`.
+    ///
+    /// Returns the message offset of that suffix if it is addressable by a
+    /// 14-bit compression pointer.
+    pub fn find_suffix(&self, labels: &[String]) -> Option<usize> {
+        if !self.compress {
+            return None;
+        }
+        self.name_offsets
+            .iter()
+            .find(|(suffix, off)| suffix == labels && *off < 0x3FFF)
+            .map(|(_, off)| *off)
+    }
+
+    /// Registers `labels` as a compression target starting at `offset`.
+    pub fn register_suffix(&mut self, labels: Vec<String>, offset: usize) {
+        if self.compress && offset < 0x3FFF {
+            self.name_offsets.push((labels, offset));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_scalars_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u16(0xBEEF);
+        w.u32(0xDEADBEEF);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("t").unwrap(), 0xAB);
+        assert_eq!(r.u16("t").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("t").unwrap(), 0xDEADBEEF);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_truncation_is_an_error_not_a_panic() {
+        let buf = [0x01u8];
+        let mut r = Reader::new(&buf);
+        assert!(r.u16("short").is_err());
+        let mut r2 = Reader::new(&buf);
+        assert!(r2.bytes(2, "short").is_err());
+    }
+
+    #[test]
+    fn seek_past_end_is_rejected() {
+        let buf = [0u8; 4];
+        let mut r = Reader::new(&buf);
+        assert!(r.seek(5).is_err());
+        assert!(r.seek(4).is_ok());
+    }
+
+    #[test]
+    fn patch_u16_overwrites_in_place() {
+        let mut w = Writer::new();
+        w.u16(0);
+        w.u8(7);
+        w.patch_u16(0, 0x0102);
+        assert_eq!(w.finish(), vec![1, 2, 7]);
+    }
+
+    #[test]
+    fn suffix_registry_finds_exact_suffix_only() {
+        let mut w = Writer::new();
+        w.register_suffix(vec!["example".into(), "com".into()], 12);
+        assert_eq!(w.find_suffix(&["example".into(), "com".into()]), Some(12));
+        assert_eq!(w.find_suffix(&["com".into()]), None);
+    }
+
+    #[test]
+    fn uncompressed_writer_never_offers_suffixes() {
+        let mut w = Writer::uncompressed();
+        w.register_suffix(vec!["com".into()], 12);
+        assert_eq!(w.find_suffix(&["com".into()]), None);
+    }
+}

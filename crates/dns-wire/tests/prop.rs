@@ -1,0 +1,138 @@
+//! Property-based tests for the DNS codecs.
+
+use dohmark_dns_wire::{
+    rdata::{CaaRdata, Rdata, SoaRdata, SrvRdata},
+    Message, Name, Rcode, Record, RecordType,
+};
+use proptest::prelude::*;
+
+/// Strategy producing valid label strings (LDH + underscore, 1..=20 chars).
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_][a-z0-9_-]{0,18}").unwrap()
+}
+
+/// Strategy producing valid domain names of 1..=5 labels.
+fn name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label(), 1..=5)
+        .prop_map(|labels| Name::from_labels(labels).unwrap())
+}
+
+fn rdata() -> impl Strategy<Value = Rdata> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| Rdata::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| Rdata::Aaaa(o.into())),
+        name().prop_map(Rdata::Cname),
+        name().prop_map(Rdata::Ns),
+        (any::<u16>(), name()).prop_map(|(preference, exchange)| Rdata::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec("[ -~]{0,40}", 0..3).prop_map(Rdata::Txt),
+        (name(), name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                Rdata::Soa(SoaRdata { mname, rname, serial, refresh, retry, expire, minimum })
+            }),
+        (any::<u16>(), any::<u16>(), any::<u16>(), name()).prop_map(
+            |(priority, weight, port, target)| Rdata::Srv(SrvRdata {
+                priority,
+                weight,
+                port,
+                target
+            })
+        ),
+        (any::<bool>(), "[a-z]{1,10}", "[ -~]{0,30}").prop_map(|(critical, tag, value)| {
+            Rdata::Caa(CaaRdata { critical, tag, value })
+        }),
+        proptest::collection::vec(
+            (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..16)),
+            0..3
+        )
+        .prop_map(Rdata::Opt),
+    ]
+}
+
+fn record() -> impl Strategy<Value = Record> {
+    (name(), any::<u32>(), rdata()).prop_map(|(n, ttl, rd)| Record::new(n, ttl, rd))
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        name(),
+        proptest::collection::vec(record(), 0..4),
+        proptest::collection::vec(record(), 0..2),
+        proptest::collection::vec(record(), 0..2),
+    )
+        .prop_map(|(id, qname, answers, authorities, additionals)| {
+            let mut m = Message::query(id, &qname, RecordType::A);
+            m.header.response = true;
+            m.header.rcode = Rcode::NoError;
+            m.answers = answers;
+            m.authorities = authorities;
+            m.additionals = additionals;
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encoding then decoding any name yields the same name.
+    #[test]
+    fn name_round_trip(n in name()) {
+        let mut w = dohmark_dns_wire::wire::Writer::new();
+        n.encode(&mut w);
+        let buf = w.finish();
+        let mut r = dohmark_dns_wire::wire::Reader::new(&buf);
+        prop_assert_eq!(Name::decode(&mut r).unwrap(), n);
+    }
+
+    /// Message encode/decode is the identity on the logical content.
+    #[test]
+    fn message_round_trip(m in message()) {
+        let wire = m.encode();
+        let back = Message::decode(&wire).unwrap();
+        prop_assert_eq!(back.questions, m.questions);
+        prop_assert_eq!(back.answers, m.answers);
+        prop_assert_eq!(back.authorities, m.authorities);
+        prop_assert_eq!(back.additionals, m.additionals);
+    }
+
+    /// Compression is always a pure size optimisation: decoding the
+    /// compressed and uncompressed encodings yields identical messages,
+    /// and compression never enlarges a message.
+    #[test]
+    fn compression_is_transparent_and_monotone(m in message()) {
+        let compressed = m.encode();
+        let plain = m.encode_uncompressed();
+        prop_assert!(compressed.len() <= plain.len());
+        prop_assert_eq!(Message::decode(&compressed).unwrap(), Message::decode(&plain).unwrap());
+    }
+
+    /// The decoder never panics on arbitrary bytes; it either parses or errors.
+    #[test]
+    fn decoder_total_on_arbitrary_input(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Names survive a JSON round trip through the dns-json codec.
+    #[test]
+    fn json_round_trip(m in message()) {
+        use dohmark_dns_wire::JsonMessage;
+        // dns-json only represents questions + answers with typed data;
+        // restrict to a message with representable answers.
+        let mut m = m;
+        m.authorities.clear();
+        m.additionals.clear();
+        m.answers.retain(|r| {
+            matches!(
+                r.rdata,
+                Rdata::A(_) | Rdata::Aaaa(_) | Rdata::Cname(_) | Rdata::Ns(_)
+                    | Rdata::Ptr(_) | Rdata::Mx { .. }
+            )
+        });
+        let j = JsonMessage::from_message(&m);
+        let back = JsonMessage::from_json(&j.to_json()).unwrap().to_message(m.header.id).unwrap();
+        prop_assert_eq!(back.answers, m.answers);
+    }
+}

@@ -1,0 +1,1 @@
+//! DoH/DoT/UDP DNS clients and servers (under construction).

@@ -1,0 +1,1 @@
+//! HTTP/1.1, HTTP/2 and HPACK codecs (under construction).

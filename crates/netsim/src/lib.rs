@@ -1,0 +1,1 @@
+//! Deterministic discrete-event network simulator (under construction).

@@ -1,0 +1,161 @@
+//! Point-to-point links: propagation delay, serialisation, jitter and
+//! fault injection.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of one direction of a link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Uniform random extra delay in `[0, jitter]` added per packet.
+    pub jitter: SimDuration,
+    /// Bits per second; `None` models an un-serialised (infinite) link.
+    pub bandwidth_bps: Option<u64>,
+    /// Probability that a packet is silently dropped.
+    pub loss: f64,
+    /// Probability that a packet is corrupted in flight. Corrupted TCP
+    /// segments are discarded by the receiver's checksum (modelled as a
+    /// drop after accounting); corrupted UDP datagrams are delivered with a
+    /// flipped byte so decoders must cope.
+    pub corrupt: f64,
+    /// Maximum transmission unit; TCP derives its MSS as `mtu - 40`.
+    pub mtu: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> LinkConfig {
+        LinkConfig {
+            latency: SimDuration::from_micros(50),
+            jitter: SimDuration::ZERO,
+            bandwidth_bps: None,
+            loss: 0.0,
+            corrupt: 0.0,
+            mtu: 1500,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A loopback-like link: 50 µs one-way, no serialisation, lossless.
+    /// Matches the paper's §3 controlled localhost experiment.
+    pub fn localhost() -> LinkConfig {
+        LinkConfig::default()
+    }
+
+    /// A LAN/university-uplink-like path with the given round-trip time.
+    pub fn with_rtt(rtt: SimDuration) -> LinkConfig {
+        LinkConfig { latency: rtt / 2, ..LinkConfig::default() }
+    }
+
+    /// Sets the bandwidth in megabits per second.
+    pub fn bandwidth_mbps(mut self, mbps: u64) -> LinkConfig {
+        self.bandwidth_bps = Some(mbps * 1_000_000);
+        self
+    }
+
+    /// Sets an iid loss probability.
+    pub fn loss(mut self, p: f64) -> LinkConfig {
+        self.loss = p;
+        self
+    }
+
+    /// Sets an iid corruption probability.
+    pub fn corrupt(mut self, p: f64) -> LinkConfig {
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets uniform jitter.
+    pub fn jitter(mut self, j: SimDuration) -> LinkConfig {
+        self.jitter = j;
+        self
+    }
+
+    /// Serialisation delay of `bytes` at the configured bandwidth.
+    pub fn serialise(&self, bytes: usize) -> SimDuration {
+        match self.bandwidth_bps {
+            None => SimDuration::ZERO,
+            Some(bps) => SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps as f64),
+        }
+    }
+}
+
+/// Runtime state of one link direction.
+#[derive(Debug)]
+pub struct DirLink {
+    /// Static configuration.
+    pub cfg: LinkConfig,
+    /// When the transmitter becomes free (FIFO serialisation).
+    pub busy_until: SimTime,
+}
+
+impl DirLink {
+    /// Creates an idle link direction.
+    pub fn new(cfg: LinkConfig) -> DirLink {
+        DirLink { cfg, busy_until: SimTime::ZERO }
+    }
+
+    /// Computes the arrival time of a packet of `bytes` handed to the
+    /// transmitter at `now`, updating the transmitter-busy horizon.
+    pub fn schedule(&mut self, now: SimTime, bytes: usize, jitter: SimDuration) -> SimTime {
+        let start = if self.busy_until > now { self.busy_until } else { now };
+        let done = start + self.cfg.serialise(bytes);
+        self.busy_until = done;
+        done + self.cfg.latency + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_bandwidth_has_zero_serialisation() {
+        let cfg = LinkConfig::localhost();
+        assert_eq!(cfg.serialise(1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn serialisation_delay_matches_rate() {
+        let cfg = LinkConfig::default().bandwidth_mbps(8); // 1 byte per microsecond
+        assert_eq!(cfg.serialise(1000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn fifo_serialisation_queues_packets() {
+        let cfg = LinkConfig::with_rtt(SimDuration::from_millis(10)).bandwidth_mbps(8);
+        let mut dir = DirLink::new(cfg);
+        let t0 = SimTime::ZERO;
+        let a1 = dir.schedule(t0, 1000, SimDuration::ZERO);
+        let a2 = dir.schedule(t0, 1000, SimDuration::ZERO);
+        // First packet: 1 ms serialise + 5 ms latency; second waits behind it.
+        assert_eq!(a1, SimTime::ZERO + SimDuration::from_millis(6));
+        assert_eq!(a2, SimTime::ZERO + SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn idle_link_does_not_queue() {
+        let cfg = LinkConfig::default().bandwidth_mbps(8);
+        let mut dir = DirLink::new(cfg);
+        dir.schedule(SimTime::ZERO, 1000, SimDuration::ZERO);
+        // A packet handed over much later sees an idle transmitter.
+        let late = SimTime::ZERO + SimDuration::from_secs(1);
+        let arrival = dir.schedule(late, 1000, SimDuration::ZERO);
+        assert_eq!(arrival, late + SimDuration::from_millis(1) + cfg.latency);
+    }
+
+    #[test]
+    fn rtt_helper_splits_latency() {
+        let cfg = LinkConfig::with_rtt(SimDuration::from_millis(20));
+        assert_eq!(cfg.latency, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn jitter_adds_to_arrival() {
+        let cfg = LinkConfig::localhost();
+        let mut dir = DirLink::new(cfg);
+        let a = dir.schedule(SimTime::ZERO, 100, SimDuration::from_micros(30));
+        assert_eq!(a, SimTime::ZERO + cfg.latency + SimDuration::from_micros(30));
+    }
+}

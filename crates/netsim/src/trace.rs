@@ -1,0 +1,344 @@
+//! Per-layer cost accounting: the measurement instrument behind the paper's
+//! Figures 3–5.
+//!
+//! Every simulated packet is stamped with an *attribution id* (which DNS
+//! resolution it belongs to) and carries a breakdown of its payload into
+//! [`LayerTag`]s. The [`CostMeter`] aggregates bytes and packets per
+//! attribution and per layer; experiment harnesses read distributions out of
+//! it.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// The layers the paper's Figure 5 breaks DoH resolution cost into, plus the
+/// raw DNS payload tag used for the UDP scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LayerTag {
+    /// IP + transport headers (the paper's "TCP" layer; for UDP scenarios
+    /// this is the IP+UDP header cost).
+    L4Header,
+    /// TLS handshake messages and record framing (the paper's "TLS").
+    Tls,
+    /// HTTP header blocks — HTTP/2 HEADERS/CONTINUATION frames incl. frame
+    /// headers, or HTTP/1.1 header text (the paper's "Hdr").
+    HttpHeader,
+    /// HTTP body — DNS payload carried in DATA frames incl. DATA frame
+    /// headers, or HTTP/1.1 bodies (the paper's "Body").
+    HttpBody,
+    /// HTTP/2 connection management — SETTINGS, WINDOW_UPDATE, PING, GOAWAY,
+    /// RST_STREAM (the paper's "Mgmt").
+    HttpMgmt,
+    /// Raw DNS message bytes on UDP or DoT (no HTTP layering).
+    DnsPayload,
+}
+
+impl LayerTag {
+    /// All tags, in the order Figure 5 presents them.
+    pub const ALL: [LayerTag; 6] = [
+        LayerTag::HttpBody,
+        LayerTag::HttpHeader,
+        LayerTag::HttpMgmt,
+        LayerTag::Tls,
+        LayerTag::L4Header,
+        LayerTag::DnsPayload,
+    ];
+
+    /// The paper's column label for this layer.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayerTag::HttpBody => "Body",
+            LayerTag::HttpHeader => "Hdr",
+            LayerTag::HttpMgmt => "Mgmt",
+            LayerTag::Tls => "TLS",
+            LayerTag::L4Header => "TCP",
+            LayerTag::DnsPayload => "DNS",
+        }
+    }
+}
+
+/// Byte totals split by layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerBytes {
+    /// IP + transport header bytes.
+    pub l4_header: u64,
+    /// TLS handshake + record framing bytes.
+    pub tls: u64,
+    /// HTTP header bytes.
+    pub http_header: u64,
+    /// HTTP body bytes.
+    pub http_body: u64,
+    /// HTTP/2 management frame bytes.
+    pub http_mgmt: u64,
+    /// Raw DNS payload bytes (UDP / DoT scenarios).
+    pub dns: u64,
+}
+
+impl LayerBytes {
+    /// Adds `n` bytes to the bucket for `tag`.
+    pub fn add(&mut self, tag: LayerTag, n: u64) {
+        match tag {
+            LayerTag::L4Header => self.l4_header += n,
+            LayerTag::Tls => self.tls += n,
+            LayerTag::HttpHeader => self.http_header += n,
+            LayerTag::HttpBody => self.http_body += n,
+            LayerTag::HttpMgmt => self.http_mgmt += n,
+            LayerTag::DnsPayload => self.dns += n,
+        }
+    }
+
+    /// Bytes in the bucket for `tag`.
+    pub fn get(&self, tag: LayerTag) -> u64 {
+        match tag {
+            LayerTag::L4Header => self.l4_header,
+            LayerTag::Tls => self.tls,
+            LayerTag::HttpHeader => self.http_header,
+            LayerTag::HttpBody => self.http_body,
+            LayerTag::HttpMgmt => self.http_mgmt,
+            LayerTag::DnsPayload => self.dns,
+        }
+    }
+
+    /// Sum over all layers.
+    pub fn total(&self) -> u64 {
+        LayerTag::ALL.iter().map(|&t| self.get(t)).sum()
+    }
+
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: &LayerBytes) {
+        for tag in LayerTag::ALL {
+            self.add(tag, other.get(tag));
+        }
+    }
+}
+
+/// Cost of one attributed unit of work (one DNS resolution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Total bytes on the wire (headers + payload, both directions).
+    pub bytes: u64,
+    /// Packets on the wire (both directions).
+    pub packets: u64,
+    /// Byte breakdown by layer.
+    pub layers: LayerBytes,
+}
+
+/// Aggregates packets into per-attribution [`Cost`]s.
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    by_attr: HashMap<u32, Cost>,
+}
+
+impl CostMeter {
+    /// An empty meter.
+    pub fn new() -> CostMeter {
+        CostMeter::default()
+    }
+
+    /// Records one packet.
+    pub fn record(&mut self, pkt: &Packet) {
+        let cost = self.by_attr.entry(pkt.attr).or_default();
+        cost.packets += 1;
+        cost.bytes += pkt.wire_len() as u64;
+        cost.layers.add(LayerTag::L4Header, pkt.header_len() as u64);
+        for seg in &pkt.layers {
+            cost.layers.add(seg.tag, seg.len as u64);
+        }
+    }
+
+    /// The cost attributed to `attr`, zero if nothing was recorded.
+    pub fn cost(&self, attr: u32) -> Cost {
+        self.by_attr.get(&attr).copied().unwrap_or_default()
+    }
+
+    /// All attributions with recorded cost.
+    pub fn attrs(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.by_attr.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sum over every attribution.
+    pub fn total(&self) -> Cost {
+        let mut total = Cost::default();
+        for c in self.by_attr.values() {
+            total.bytes += c.bytes;
+            total.packets += c.packets;
+            total.layers.merge(&c.layers);
+        }
+        total
+    }
+
+    /// Clears all recorded costs.
+    pub fn reset(&mut self) {
+        self.by_attr.clear();
+    }
+}
+
+/// One packet as seen on the wire, for debugging dumps and assertions.
+#[derive(Debug, Clone)]
+pub struct PacketRecord {
+    /// Simulated send time.
+    pub at: SimTime,
+    /// Human-readable direction, e.g. `"client->server"`.
+    pub direction: String,
+    /// Total size on the wire.
+    pub wire_len: usize,
+    /// Attribution id.
+    pub attr: u32,
+    /// Summary of flags/payload, e.g. `"SYN"`, `"ACK len=120"`.
+    pub summary: String,
+    /// Whether the packet was dropped by fault injection.
+    pub dropped: bool,
+}
+
+/// A bounded in-memory packet log (tcpdump-style, optional).
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    records: Vec<PacketRecord>,
+    enabled: bool,
+    cap: usize,
+}
+
+impl TraceLog {
+    /// A disabled log (the default; enable for debugging).
+    pub fn new() -> TraceLog {
+        TraceLog { records: Vec::new(), enabled: false, cap: 100_000 }
+    }
+
+    /// Enables recording, keeping at most `cap` packets.
+    pub fn enable(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = cap;
+    }
+
+    /// Disables recording.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Appends a record if enabled and under the cap.
+    pub fn push(&mut self, rec: PacketRecord) {
+        if self.enabled && self.records.len() < self.cap {
+            self.records.push(rec);
+        }
+    }
+
+    /// The recorded packets.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Renders the log in a tcpdump-like text format.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let drop = if r.dropped { " [DROPPED]" } else { "" };
+            out.push_str(&format!(
+                "{} {} {} bytes attr={} {}{}\n",
+                r.at, r.direction, r.wire_len, r.attr, r.summary, drop
+            ));
+        }
+        out
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, Proto, TaggedRange};
+
+    fn dummy_packet(attr: u32, payload: usize) -> Packet {
+        Packet {
+            src: (crate::sim::HostId(0), 1000),
+            dst: (crate::sim::HostId(1), 53),
+            proto: Proto::Udp,
+            seg: None,
+            payload: vec![0; payload],
+            layers: vec![TaggedRange { tag: LayerTag::DnsPayload, attr, len: payload as u32 }],
+            attr,
+        }
+    }
+
+    #[test]
+    fn meter_accumulates_bytes_and_packets() {
+        let mut m = CostMeter::new();
+        m.record(&dummy_packet(1, 33));
+        m.record(&dummy_packet(1, 90));
+        m.record(&dummy_packet(2, 10));
+        let c1 = m.cost(1);
+        assert_eq!(c1.packets, 2);
+        // 28-byte IP+UDP header per packet.
+        assert_eq!(c1.bytes, 33 + 28 + 90 + 28);
+        assert_eq!(c1.layers.dns, 123);
+        assert_eq!(c1.layers.l4_header, 56);
+        assert_eq!(m.cost(2).packets, 1);
+        assert_eq!(m.attrs(), vec![1, 2]);
+    }
+
+    #[test]
+    fn meter_total_merges_all_attrs() {
+        let mut m = CostMeter::new();
+        m.record(&dummy_packet(1, 10));
+        m.record(&dummy_packet(2, 20));
+        let t = m.total();
+        assert_eq!(t.packets, 2);
+        assert_eq!(t.layers.dns, 30);
+    }
+
+    #[test]
+    fn unknown_attr_is_zero_cost() {
+        let m = CostMeter::new();
+        assert_eq!(m.cost(7), Cost::default());
+    }
+
+    #[test]
+    fn layer_bytes_total_and_merge() {
+        let mut a = LayerBytes::default();
+        a.add(LayerTag::Tls, 5);
+        a.add(LayerTag::HttpBody, 7);
+        let mut b = LayerBytes::default();
+        b.add(LayerTag::Tls, 3);
+        b.merge(&a);
+        assert_eq!(b.tls, 8);
+        assert_eq!(b.total(), 15);
+    }
+
+    #[test]
+    fn trace_log_respects_enable_and_cap() {
+        let mut log = TraceLog::new();
+        log.push(PacketRecord {
+            at: SimTime::ZERO,
+            direction: "a->b".into(),
+            wire_len: 40,
+            attr: 0,
+            summary: "SYN".into(),
+            dropped: false,
+        });
+        assert!(log.records().is_empty());
+        log.enable(2);
+        for _ in 0..5 {
+            log.push(PacketRecord {
+                at: SimTime::ZERO,
+                direction: "a->b".into(),
+                wire_len: 40,
+                attr: 0,
+                summary: "ACK".into(),
+                dropped: false,
+            });
+        }
+        assert_eq!(log.records().len(), 2);
+        assert!(log.dump().contains("ACK"));
+    }
+
+    #[test]
+    fn labels_match_figure5_columns() {
+        let labels: Vec<&str> = LayerTag::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels, vec!["Body", "Hdr", "Mgmt", "TLS", "TCP", "DNS"]);
+    }
+}

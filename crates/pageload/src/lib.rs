@@ -1,0 +1,1 @@
+//! Page-load model (under construction).

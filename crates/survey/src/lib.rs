@@ -1,0 +1,1 @@
+//! DoH landscape survey (under construction).

@@ -1,0 +1,1 @@
+//! TLS handshake and record-layer byte model (under construction).

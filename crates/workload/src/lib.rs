@@ -1,0 +1,1 @@
+//! Workload models (under construction).

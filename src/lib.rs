@@ -1,0 +1,37 @@
+//! # dohmark
+//!
+//! A protocol-faithful reproduction of *"An Empirical Study of the Cost of
+//! DNS-over-HTTPS"* (Boettger et al., ACM IMC 2019).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`dns`] — DNS wireformat and `application/dns-json` codecs.
+//! * [`netsim`] — deterministic discrete-event network simulator with
+//!   simulated UDP and TCP and per-layer cost accounting.
+//! * [`tls`] — TLS 1.2/1.3 handshake and record-layer byte model.
+//! * [`http`] — HPACK, HTTP/2 framing and HTTP/1.1 with pipelining.
+//! * [`doh`] — stub resolvers and servers for UDP DNS, DoT, DoH/HTTP-1.1 and
+//!   DoH/HTTP-2, with per-resolution cost breakdowns.
+//! * [`survey`] — the DoH provider landscape survey (paper Tables 1–2).
+//! * [`workload`] — Alexa-like site and name workload models.
+//! * [`pageload`] — browser model and page-load experiments (Figures 1, 6).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dohmark::doh::experiment::overhead::{OverheadConfig, Scenario, run_scenario};
+//!
+//! let cfg = OverheadConfig { resolutions: 50, ..OverheadConfig::default() };
+//! let report = run_scenario(Scenario::DohPersistentCloudflare, &cfg);
+//! // DoH over a persistent connection still costs several times UDP.
+//! assert!(report.median_bytes() > 500);
+//! ```
+
+pub use dohmark_dns_wire as dns;
+pub use dohmark_doh as doh;
+pub use dohmark_httpsim as http;
+pub use dohmark_netsim as netsim;
+pub use dohmark_pageload as pageload;
+pub use dohmark_survey as survey;
+pub use dohmark_tls_model as tls;
+pub use dohmark_workload as workload;
