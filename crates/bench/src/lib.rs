@@ -1,1 +1,12 @@
 //! Experiment harnesses (under construction).
+//!
+//! # Planned design
+//!
+//! One binary per figure/table of the paper (see `src/bin/`): each harness
+//! builds a simulated topology, runs the relevant scenario matrix over many
+//! seeds, and emits the distribution that the corresponding figure plots
+//! (bytes per resolution, packets per resolution, layer breakdowns,
+//! page-load times). The `benches/` targets are plain-main harnesses kept
+//! buildable without external benchmarking crates.
+
+#![forbid(unsafe_code)]

@@ -235,9 +235,7 @@ impl Header {
             + self.ancount as usize
             + self.nscount as usize
             + self.arcount as usize;
-        if total * 5 > message_len.saturating_sub(Header::WIRE_LEN).max(0) + total * 5
-            && total > message_len
-        {
+        if total * 5 > message_len.saturating_sub(Header::WIRE_LEN) {
             return Err(DnsError::CountMismatch { section: "total" });
         }
         Ok(())

@@ -8,63 +8,55 @@
 
 use crate::error::{DnsError, Result};
 use crate::header::Rcode;
+use crate::jsontext::{self, write_escaped, JsonValue};
 use crate::message::Message;
 use crate::name::Name;
 use crate::rdata::Rdata;
 use crate::record::{Record, RecordType};
-use serde::{Deserialize, Serialize};
 
 /// JSON form of one question entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonQuestion {
     /// Queried name in presentation format with trailing dot.
     pub name: String,
-    /// Numeric record type.
-    #[serde(rename = "type")]
+    /// Numeric record type (serialised as `type`).
     pub qtype: u16,
 }
 
 /// JSON form of one answer record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonAnswer {
     /// Owner name in presentation format.
     pub name: String,
-    /// Numeric record type.
-    #[serde(rename = "type")]
+    /// Numeric record type (serialised as `type`).
     pub rtype: u16,
-    /// Time to live in seconds.
-    #[serde(rename = "TTL")]
+    /// Time to live in seconds (serialised as `TTL`).
     pub ttl: u32,
     /// Record data in presentation format.
     pub data: String,
 }
 
 /// JSON form of a DNS response message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Field names on the wire follow the deployed Google/Cloudflare APIs:
+/// `Status`, `TC`, `RD`, `RA`, `AD`, `CD`, `Question`, `Answer`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonMessage {
     /// Response code (`Status` in the deployed APIs).
-    #[serde(rename = "Status")]
     pub status: u16,
     /// Truncation flag.
-    #[serde(rename = "TC")]
     pub tc: bool,
     /// Recursion desired.
-    #[serde(rename = "RD")]
     pub rd: bool,
     /// Recursion available.
-    #[serde(rename = "RA")]
     pub ra: bool,
     /// Authenticated data.
-    #[serde(rename = "AD")]
     pub ad: bool,
     /// Checking disabled.
-    #[serde(rename = "CD")]
     pub cd: bool,
     /// Question section.
-    #[serde(rename = "Question")]
     pub question: Vec<JsonQuestion>,
     /// Answer section; omitted when empty, as the deployed APIs do.
-    #[serde(rename = "Answer", default, skip_serializing_if = "Vec::is_empty")]
     pub answer: Vec<JsonAnswer>,
 }
 
@@ -113,12 +105,7 @@ impl JsonMessage {
                 data.iter().map(|b| format!("{b:02x}")).collect::<String>()
             }
         };
-        JsonAnswer {
-            name: rec.name.to_string(),
-            rtype: rec.rtype().to_u16(),
-            ttl: rec.ttl,
-            data,
-        }
+        JsonAnswer { name: rec.name.to_string(), rtype: rec.rtype().to_u16(), ttl: rec.ttl, data }
     }
 
     /// Converts the JSON form back into a wireformat message.
@@ -142,8 +129,7 @@ impl JsonMessage {
         msg.header.checking_disabled = self.cd;
         for q in &self.question {
             let name = Name::parse(&q.name).map_err(|e| DnsError::Json(e.to_string()))?;
-            msg.questions
-                .push(crate::message::Question::new(name, RecordType::from_u16(q.qtype)));
+            msg.questions.push(crate::message::Question::new(name, RecordType::from_u16(q.qtype)));
         }
         for a in &self.answer {
             msg.answers.push(Self::record_from_answer(a)?);
@@ -190,15 +176,119 @@ impl JsonMessage {
         Ok(Record::new(name, a.ttl, rdata))
     }
 
-    /// Serialises to the on-wire JSON text.
+    /// Serialises to the on-wire JSON text (compact, deployed field names).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("JsonMessage is always serialisable")
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"Status\":");
+        out.push_str(&self.status.to_string());
+        for (key, value) in
+            [("TC", self.tc), ("RD", self.rd), ("RA", self.ra), ("AD", self.ad), ("CD", self.cd)]
+        {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            out.push_str(if value { "true" } else { "false" });
+        }
+        out.push_str(",\"Question\":[");
+        for (i, q) in self.question.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, &q.name);
+            out.push_str(",\"type\":");
+            out.push_str(&q.qtype.to_string());
+            out.push('}');
+        }
+        out.push(']');
+        if !self.answer.is_empty() {
+            out.push_str(",\"Answer\":[");
+            for (i, a) in self.answer.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                write_escaped(&mut out, &a.name);
+                out.push_str(",\"type\":");
+                out.push_str(&a.rtype.to_string());
+                out.push_str(",\"TTL\":");
+                out.push_str(&a.ttl.to_string());
+                out.push_str(",\"data\":");
+                write_escaped(&mut out, &a.data);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
     }
 
-    /// Parses on-wire JSON text.
+    /// Parses on-wire JSON text. Unknown fields are ignored, as the
+    /// deployed APIs add fields freely.
     pub fn from_json(text: &str) -> Result<JsonMessage> {
-        serde_json::from_str(text).map_err(|e| DnsError::Json(e.to_string()))
+        let doc = jsontext::parse(text).map_err(|e| DnsError::Json(e.to_string()))?;
+        if !matches!(doc, JsonValue::Object(_)) {
+            return Err(DnsError::Json("document is not an object".to_string()));
+        }
+        let question = doc
+            .get("Question")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("Question"))?
+            .iter()
+            .map(|q| {
+                Ok(JsonQuestion {
+                    name: req_str(q, "name")?.to_string(),
+                    qtype: req_int(q, "type")?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let answer = match doc.get("Answer") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| DnsError::Json("Answer is not an array".to_string()))?
+                .iter()
+                .map(|a| {
+                    Ok(JsonAnswer {
+                        name: req_str(a, "name")?.to_string(),
+                        rtype: req_int(a, "type")?,
+                        ttl: req_int(a, "TTL")?,
+                        data: req_str(a, "data")?.to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+        };
+        Ok(JsonMessage {
+            status: req_int(&doc, "Status")?,
+            tc: req_bool(&doc, "TC")?,
+            rd: req_bool(&doc, "RD")?,
+            ra: req_bool(&doc, "RA")?,
+            ad: req_bool(&doc, "AD")?,
+            cd: req_bool(&doc, "CD")?,
+            question,
+            answer,
+        })
     }
+}
+
+fn missing(key: &str) -> DnsError {
+    DnsError::Json(format!("missing or mistyped field {key}"))
+}
+
+fn req_bool(v: &JsonValue, key: &str) -> Result<bool> {
+    v.get(key).and_then(JsonValue::as_bool).ok_or_else(|| missing(key))
+}
+
+fn req_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str> {
+    v.get(key).and_then(JsonValue::as_str).ok_or_else(|| missing(key))
+}
+
+/// An integral JSON number coerced into `T`, erroring on range overflow.
+fn req_int<T: TryFrom<u64>>(v: &JsonValue, key: &str) -> Result<T> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .and_then(|n| T::try_from(n).ok())
+        .ok_or_else(|| missing(key))
 }
 
 #[cfg(test)]
@@ -227,7 +317,9 @@ mod tests {
     fn json_uses_deployed_field_names() {
         let j = JsonMessage::from_message(&sample_response());
         let text = j.to_json();
-        for field in ["\"Status\"", "\"TC\"", "\"RD\"", "\"RA\"", "\"Question\"", "\"Answer\"", "\"TTL\""] {
+        for field in
+            ["\"Status\"", "\"TC\"", "\"RD\"", "\"RA\"", "\"Question\"", "\"Answer\"", "\"TTL\""]
+        {
             assert!(text.contains(field), "missing {field} in {text}");
         }
     }

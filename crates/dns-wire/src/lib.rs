@@ -29,6 +29,7 @@
 pub mod error;
 pub mod header;
 pub mod json;
+pub mod jsontext;
 pub mod message;
 pub mod name;
 pub mod rdata;

@@ -163,7 +163,8 @@ impl Name {
     /// are rejected.
     pub fn decode(r: &mut Reader<'_>) -> Result<Name> {
         let mut labels = Vec::new();
-        let mut wire_len = 1usize; // terminal root octet
+        // Wire length starts at 1 for the terminal root octet.
+        let mut wire_len = 1usize;
         // Position to restore once the first pointer is followed.
         let mut resume: Option<usize> = None;
         // Strictly decreasing pointer targets prevent loops.
@@ -273,10 +274,7 @@ mod tests {
     fn simple_encoding_matches_rfc_layout() {
         let n = Name::parse("example.com").unwrap();
         let wire = encode_one(&n);
-        assert_eq!(
-            wire,
-            [b"\x07example\x03com\x00".as_ref()].concat(),
-        );
+        assert_eq!(wire, [b"\x07example\x03com\x00".as_ref()].concat(),);
         assert_eq!(wire.len(), n.wire_len());
     }
 

@@ -189,10 +189,9 @@ impl Rdata {
             RecordType::Cname => Rdata::Cname(Name::decode(r)?),
             RecordType::Ns => Rdata::Ns(Name::decode(r)?),
             RecordType::Ptr => Rdata::Ptr(Name::decode(r)?),
-            RecordType::Mx => Rdata::Mx {
-                preference: r.u16("MX preference")?,
-                exchange: Name::decode(r)?,
-            },
+            RecordType::Mx => {
+                Rdata::Mx { preference: r.u16("MX preference")?, exchange: Name::decode(r)? }
+            }
             RecordType::Txt => {
                 let mut strings = Vec::new();
                 while r.position() < end {

@@ -1,138 +1,225 @@
 //! Property-based tests for the DNS codecs.
+//!
+//! The workspace builds offline, so instead of `proptest` these use a small
+//! in-file generator: a seeded SplitMix64 PRNG drives random message
+//! construction, and every property is checked over many generated cases.
+//! Failures print the offending seed so a case can be replayed exactly.
 
 use dohmark_dns_wire::{
     rdata::{CaaRdata, Rdata, SoaRdata, SrvRdata},
-    Message, Name, Rcode, Record, RecordType,
+    JsonMessage, Message, Name, Rcode, Record, RecordType,
 };
-use proptest::prelude::*;
 
-/// Strategy producing valid label strings (LDH + underscore, 1..=20 chars).
-fn label() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9_][a-z0-9_-]{0,18}").unwrap()
-}
+const CASES: u64 = 256;
 
-/// Strategy producing valid domain names of 1..=5 labels.
-fn name() -> impl Strategy<Value = Name> {
-    proptest::collection::vec(label(), 1..=5)
-        .prop_map(|labels| Name::from_labels(labels).unwrap())
-}
+/// Deterministic SplitMix64 generator; tiny, unbiased enough for tests.
+struct Gen(u64);
 
-fn rdata() -> impl Strategy<Value = Rdata> {
-    prop_oneof![
-        any::<[u8; 4]>().prop_map(|o| Rdata::A(o.into())),
-        any::<[u8; 16]>().prop_map(|o| Rdata::Aaaa(o.into())),
-        name().prop_map(Rdata::Cname),
-        name().prop_map(Rdata::Ns),
-        (any::<u16>(), name()).prop_map(|(preference, exchange)| Rdata::Mx {
-            preference,
-            exchange
-        }),
-        proptest::collection::vec("[ -~]{0,40}", 0..3).prop_map(Rdata::Txt),
-        (name(), name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
-                Rdata::Soa(SoaRdata { mname, rname, serial, refresh, retry, expire, minimum })
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+
+    /// A label matching `[a-z0-9_][a-z0-9_-]{0,18}`.
+    fn label(&mut self) -> String {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+        let len = 1 + self.below(19) as usize;
+        let mut s = String::with_capacity(len);
+        s.push(FIRST[self.below(FIRST.len() as u64) as usize] as char);
+        for _ in 1..len {
+            s.push(REST[self.below(REST.len() as u64) as usize] as char);
+        }
+        s
+    }
+
+    /// A domain name of 1..=5 labels.
+    fn name(&mut self) -> Name {
+        let labels: Vec<String> = (0..1 + self.below(5)).map(|_| self.label()).collect();
+        Name::from_labels(labels).expect("generated labels are valid")
+    }
+
+    /// A printable-ASCII string of up to `max` characters.
+    fn printable(&mut self, max: u64) -> String {
+        let len = self.below(max + 1);
+        (0..len).map(|_| (0x20 + self.below(0x5F)) as u8 as char).collect()
+    }
+
+    fn rdata(&mut self) -> Rdata {
+        match self.below(10) {
+            0 => Rdata::A(u32::to_be_bytes(self.next() as u32).into()),
+            1 => Rdata::Aaaa(
+                u128::to_be_bytes((self.next() as u128) << 64 | self.next() as u128).into(),
+            ),
+            2 => Rdata::Cname(self.name()),
+            3 => Rdata::Ns(self.name()),
+            4 => Rdata::Mx { preference: self.next() as u16, exchange: self.name() },
+            5 => {
+                let strings = (0..self.below(3)).map(|_| self.printable(40)).collect();
+                Rdata::Txt(strings)
+            }
+            6 => Rdata::Soa(SoaRdata {
+                mname: self.name(),
+                rname: self.name(),
+                serial: self.next() as u32,
+                refresh: self.next() as u32,
+                retry: self.next() as u32,
+                expire: self.next() as u32,
+                minimum: self.next() as u32,
             }),
-        (any::<u16>(), any::<u16>(), any::<u16>(), name()).prop_map(
-            |(priority, weight, port, target)| Rdata::Srv(SrvRdata {
-                priority,
-                weight,
-                port,
-                target
-            })
-        ),
-        (any::<bool>(), "[a-z]{1,10}", "[ -~]{0,30}").prop_map(|(critical, tag, value)| {
-            Rdata::Caa(CaaRdata { critical, tag, value })
-        }),
-        proptest::collection::vec(
-            (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..16)),
-            0..3
-        )
-        .prop_map(Rdata::Opt),
-    ]
+            7 => Rdata::Srv(SrvRdata {
+                priority: self.next() as u16,
+                weight: self.next() as u16,
+                port: self.next() as u16,
+                target: self.name(),
+            }),
+            8 => Rdata::Caa(CaaRdata {
+                critical: self.chance(2),
+                tag: (0..1 + self.below(10))
+                    .map(|_| (b'a' + self.below(26) as u8) as char)
+                    .collect(),
+                value: self.printable(30),
+            }),
+            9 => {
+                let options = (0..self.below(3))
+                    .map(|_| {
+                        let code = self.next() as u16;
+                        let data = (0..self.below(16)).map(|_| self.next() as u8).collect();
+                        (code, data)
+                    })
+                    .collect();
+                Rdata::Opt(options)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn record(&mut self) -> Record {
+        let name = self.name();
+        let ttl = self.next() as u32;
+        let rdata = self.rdata();
+        Record::new(name, ttl, rdata)
+    }
+
+    fn records(&mut self, max: u64) -> Vec<Record> {
+        (0..self.below(max + 1)).map(|_| self.record()).collect()
+    }
+
+    fn message(&mut self) -> Message {
+        let id = self.next() as u16;
+        let qname = self.name();
+        let mut m = Message::query(id, &qname, RecordType::A);
+        m.header.response = true;
+        m.header.rcode = Rcode::NoError;
+        m.answers = self.records(3);
+        m.authorities = self.records(1);
+        m.additionals = self.records(1);
+        m
+    }
 }
 
-fn record() -> impl Strategy<Value = Record> {
-    (name(), any::<u32>(), rdata()).prop_map(|(n, ttl, rd)| Record::new(n, ttl, rd))
+/// Runs `check` over [`CASES`] seeded cases, reporting the failing seed.
+fn for_all_cases(check: impl Fn(&mut Gen)) {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        // A panic inside `check` aborts the test; print the seed first so
+        // the case can be replayed.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&mut g)));
+        if let Err(payload) = result {
+            eprintln!("property failed for generator seed {seed}");
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
-fn message() -> impl Strategy<Value = Message> {
-    (
-        any::<u16>(),
-        name(),
-        proptest::collection::vec(record(), 0..4),
-        proptest::collection::vec(record(), 0..2),
-        proptest::collection::vec(record(), 0..2),
-    )
-        .prop_map(|(id, qname, answers, authorities, additionals)| {
-            let mut m = Message::query(id, &qname, RecordType::A);
-            m.header.response = true;
-            m.header.rcode = Rcode::NoError;
-            m.answers = answers;
-            m.authorities = authorities;
-            m.additionals = additionals;
-            m
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Encoding then decoding any name yields the same name.
-    #[test]
-    fn name_round_trip(n in name()) {
+/// Encoding then decoding any name yields the same name.
+#[test]
+fn name_round_trip() {
+    for_all_cases(|g| {
+        let n = g.name();
         let mut w = dohmark_dns_wire::wire::Writer::new();
         n.encode(&mut w);
         let buf = w.finish();
         let mut r = dohmark_dns_wire::wire::Reader::new(&buf);
-        prop_assert_eq!(Name::decode(&mut r).unwrap(), n);
-    }
+        assert_eq!(Name::decode(&mut r).unwrap(), n);
+    });
+}
 
-    /// Message encode/decode is the identity on the logical content.
-    #[test]
-    fn message_round_trip(m in message()) {
+/// Message encode/decode is the identity on the logical content.
+#[test]
+fn message_round_trip() {
+    for_all_cases(|g| {
+        let m = g.message();
         let wire = m.encode();
         let back = Message::decode(&wire).unwrap();
-        prop_assert_eq!(back.questions, m.questions);
-        prop_assert_eq!(back.answers, m.answers);
-        prop_assert_eq!(back.authorities, m.authorities);
-        prop_assert_eq!(back.additionals, m.additionals);
-    }
+        assert_eq!(back.questions, m.questions);
+        assert_eq!(back.answers, m.answers);
+        assert_eq!(back.authorities, m.authorities);
+        assert_eq!(back.additionals, m.additionals);
+    });
+}
 
-    /// Compression is always a pure size optimisation: decoding the
-    /// compressed and uncompressed encodings yields identical messages,
-    /// and compression never enlarges a message.
-    #[test]
-    fn compression_is_transparent_and_monotone(m in message()) {
+/// Compression is always a pure size optimisation: decoding the compressed
+/// and uncompressed encodings yields identical messages, and compression
+/// never enlarges a message.
+#[test]
+fn compression_is_transparent_and_monotone() {
+    for_all_cases(|g| {
+        let m = g.message();
         let compressed = m.encode();
         let plain = m.encode_uncompressed();
-        prop_assert!(compressed.len() <= plain.len());
-        prop_assert_eq!(Message::decode(&compressed).unwrap(), Message::decode(&plain).unwrap());
-    }
+        assert!(compressed.len() <= plain.len());
+        assert_eq!(Message::decode(&compressed).unwrap(), Message::decode(&plain).unwrap());
+    });
+}
 
-    /// The decoder never panics on arbitrary bytes; it either parses or errors.
-    #[test]
-    fn decoder_total_on_arbitrary_input(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// The decoder never panics on arbitrary bytes; it either parses or errors.
+#[test]
+fn decoder_total_on_arbitrary_input() {
+    for_all_cases(|g| {
+        let len = g.below(256) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| g.next() as u8).collect();
         let _ = Message::decode(&bytes);
-    }
+    });
+}
 
-    /// Names survive a JSON round trip through the dns-json codec.
-    #[test]
-    fn json_round_trip(m in message()) {
-        use dohmark_dns_wire::JsonMessage;
-        // dns-json only represents questions + answers with typed data;
-        // restrict to a message with representable answers.
-        let mut m = m;
+/// Messages survive a JSON round trip through the dns-json codec, for the
+/// record types dns-json represents with typed data.
+#[test]
+fn json_round_trip() {
+    for_all_cases(|g| {
+        let mut m = g.message();
         m.authorities.clear();
         m.additionals.clear();
         m.answers.retain(|r| {
             matches!(
                 r.rdata,
-                Rdata::A(_) | Rdata::Aaaa(_) | Rdata::Cname(_) | Rdata::Ns(_)
-                    | Rdata::Ptr(_) | Rdata::Mx { .. }
+                Rdata::A(_)
+                    | Rdata::Aaaa(_)
+                    | Rdata::Cname(_)
+                    | Rdata::Ns(_)
+                    | Rdata::Ptr(_)
+                    | Rdata::Mx { .. }
             )
         });
         let j = JsonMessage::from_message(&m);
         let back = JsonMessage::from_json(&j.to_json()).unwrap().to_message(m.header.id).unwrap();
-        prop_assert_eq!(back.answers, m.answers);
-    }
+        assert_eq!(back.answers, m.answers);
+    });
 }

@@ -1,1 +1,15 @@
 //! DoH/DoT/UDP DNS clients and servers (under construction).
+//!
+//! # Planned design
+//!
+//! This crate will drive `dohmark-netsim` with protocol-faithful DNS
+//! transports: a UDP client multiplexing queries over ephemeral source
+//! ports (the paper's §3 baseline), a DoT client framing `dohmark-dns-wire`
+//! messages with 2-byte length prefixes over TLS, and DoH clients speaking
+//! HTTP/1.1 and HTTP/2 through `dohmark-httpsim` — with connection reuse
+//! policies (fresh vs. persistent) as the key experimental axis. Each
+//! resolution gets a unique attribution id so the simulator's `CostMeter`
+//! can reproduce the per-resolution byte/packet distributions behind the
+//! paper's Figures 3–5.
+
+#![forbid(unsafe_code)]

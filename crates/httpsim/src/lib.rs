@@ -1,1 +1,14 @@
 //! HTTP/1.1, HTTP/2 and HPACK codecs (under construction).
+//!
+//! # Planned design
+//!
+//! Byte-accurate HTTP serialisation for the DoH transports: HTTP/1.1
+//! request/response text with configurable header sets, and HTTP/2 framing
+//! (HEADERS, DATA, SETTINGS, WINDOW_UPDATE, PING, GOAWAY, RST_STREAM) with
+//! a real HPACK encoder — static table, dynamic table with eviction, and
+//! Huffman coding — because HPACK's dynamic table is precisely why the
+//! paper finds persistent DoH connections amortise header bytes so well.
+//! Frame and header bytes will be tagged `HttpHeader`/`HttpBody`/`HttpMgmt`
+//! so the layer breakdown of Figure 5 falls out of the cost meter.
+
+#![forbid(unsafe_code)]

@@ -105,9 +105,7 @@ impl Packet {
     pub fn header_len(&self) -> usize {
         match self.proto {
             Proto::Udp => IP_HEADER + UDP_HEADER,
-            Proto::Tcp => {
-                IP_HEADER + TCP_HEADER + self.seg.map(|s| s.options_len).unwrap_or(0)
-            }
+            Proto::Tcp => IP_HEADER + TCP_HEADER + self.seg.map(|s| s.options_len).unwrap_or(0),
         }
     }
 

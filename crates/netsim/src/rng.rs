@@ -36,10 +36,7 @@ impl SimRng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -109,9 +106,7 @@ impl SimRng {
     /// name compressibility is uniform across queries.
     pub fn alnum_string(&mut self, len: usize) -> String {
         const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
-        (0..len)
-            .map(|_| ALPHABET[self.below(ALPHABET.len() as u64) as usize] as char)
-            .collect()
+        (0..len).map(|_| ALPHABET[self.below(ALPHABET.len() as u64) as usize] as char).collect()
     }
 }
 

@@ -190,7 +190,7 @@ pub struct Sim {
     rng: SimRng,
     attr: u32,
     next_ephemeral: u16,
-    dropped: u64,
+    pub(crate) dropped: u64,
 }
 
 impl Sim {
@@ -367,10 +367,7 @@ impl Sim {
             at: self.now,
             direction: format!(
                 "{}:{}->{}:{}",
-                self.hosts[pkt.src.0 .0],
-                pkt.src.1,
-                self.hosts[pkt.dst.0 .0],
-                pkt.dst.1
+                self.hosts[pkt.src.0 .0], pkt.src.1, self.hosts[pkt.dst.0 .0], pkt.dst.1
             ),
             wire_len: pkt.wire_len(),
             attr: pkt.attr,

@@ -1,1 +1,13 @@
 //! Page-load model (under construction).
+//!
+//! # Planned design
+//!
+//! A browser model for the paper's Figures 1 and 6: pages are dependency
+//! trees of resources spread over several domains (with per-page domain
+//! counts drawn from an Alexa-like distribution), loading triggers DNS
+//! resolutions through a pluggable resolver, and page-load time is the
+//! simulated makespan of the tree. Comparing UDP, DoT and DoH resolvers
+//! under identical page workloads reproduces the paper's finding that
+//! resolver transport barely moves page-load time despite the extra bytes.
+
+#![forbid(unsafe_code)]

@@ -1,1 +1,12 @@
 //! DoH landscape survey (under construction).
+//!
+//! # Planned design
+//!
+//! A static model of the DoH provider landscape the paper surveys
+//! (Tables 1–2): per-provider endpoint metadata — supported HTTP versions,
+//! `application/dns-message` vs. `application/dns-json` content types,
+//! EDNS client-subnet behaviour and certificate chain sizes — exposed as
+//! typed records the experiment harnesses iterate over to parameterise
+//! simulations per provider.
+
+#![forbid(unsafe_code)]

@@ -1,1 +1,14 @@
 //! TLS handshake and record-layer byte model (under construction).
+//!
+//! # Planned design
+//!
+//! A byte-count model of TLS 1.2 and 1.3 — not a cryptographic
+//! implementation: handshake transcripts with realistic message sizes
+//! (ClientHello with SNI/ALPN, certificate chains of configurable length,
+//! session resumption and TLS 1.3 0-RTT), plus per-record framing overhead
+//! (5-byte header + AEAD tag) applied to application writes. The model
+//! exposes a `wrap(bytes) -> records` interface the DoT/DoH clients call,
+//! tagging everything `LayerTag::Tls` so handshake amortisation across
+//! resolutions is measurable exactly as the paper measures it.
+
+#![forbid(unsafe_code)]

@@ -1,1 +1,12 @@
 //! Workload models (under construction).
+//!
+//! # Planned design
+//!
+//! Query workload generation for the experiments: Poisson query arrivals
+//! (the paper's §3 controlled experiment), Zipf-ish name popularity over an
+//! Alexa-like site list, constant-length random query names for uniform
+//! compressibility, and per-site domain fan-out for the page-load model.
+//! All randomness flows from the simulator's seeded `SimRng` so whole
+//! experiment suites replay bit-for-bit.
+
+#![forbid(unsafe_code)]

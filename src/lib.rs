@@ -8,23 +8,46 @@
 //! * [`dns`] — DNS wireformat and `application/dns-json` codecs.
 //! * [`netsim`] — deterministic discrete-event network simulator with
 //!   simulated UDP and TCP and per-layer cost accounting.
-//! * [`tls`] — TLS 1.2/1.3 handshake and record-layer byte model.
-//! * [`http`] — HPACK, HTTP/2 framing and HTTP/1.1 with pipelining.
-//! * [`doh`] — stub resolvers and servers for UDP DNS, DoT, DoH/HTTP-1.1 and
-//!   DoH/HTTP-2, with per-resolution cost breakdowns.
-//! * [`survey`] — the DoH provider landscape survey (paper Tables 1–2).
-//! * [`workload`] — Alexa-like site and name workload models.
-//! * [`pageload`] — browser model and page-load experiments (Figures 1, 6).
+//! * [`tls`] — TLS 1.2/1.3 handshake and record-layer byte model (planned).
+//! * [`http`] — HPACK, HTTP/2 framing and HTTP/1.1 codecs (planned).
+//! * [`doh`] — resolvers and servers for UDP DNS, DoT, DoH/HTTP-1.1 and
+//!   DoH/HTTP-2, with per-resolution cost breakdowns (planned).
+//! * [`survey`] — the DoH provider landscape survey, paper Tables 1–2
+//!   (planned).
+//! * [`workload`] — Alexa-like site and name workload models (planned).
+//! * [`pageload`] — browser model and page-load experiments, Figures 1 and 6
+//!   (planned).
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use dohmark::doh::experiment::overhead::{OverheadConfig, Scenario, run_scenario};
+//! Encode a real DNS query and send it over simulated TCP, then read the
+//! per-layer cost the way the paper's figures do:
 //!
-//! let cfg = OverheadConfig { resolutions: 50, ..OverheadConfig::default() };
-//! let report = run_scenario(Scenario::DohPersistentCloudflare, &cfg);
-//! // DoH over a persistent connection still costs several times UDP.
-//! assert!(report.median_bytes() > 500);
+//! ```
+//! use dohmark::dns::{Message, Name, RecordType};
+//! use dohmark::netsim::{LayerTag, LinkConfig, Sim, Wake};
+//!
+//! let query = Message::query(0x1234, &Name::parse("example.com.").unwrap(), RecordType::A);
+//! let wire = query.encode();
+//!
+//! let mut sim = Sim::new(7);
+//! let client = sim.add_host("client");
+//! let resolver = sim.add_host("resolver");
+//! sim.add_link(client, resolver, LinkConfig::localhost());
+//! sim.tcp_listen(resolver, 853);
+//! let conn = sim.tcp_connect(client, (resolver, 853));
+//! while let Some(wake) = sim.next_wake() {
+//!     if let Wake::TcpConnected { .. } = wake {
+//!         sim.tcp_send(conn, LayerTag::DnsPayload, &wire);
+//!         break;
+//!     }
+//! }
+//! sim.drain();
+//!
+//! let cost = sim.meter.total();
+//! assert_eq!(cost.layers.dns, wire.len() as u64);
+//! // Handshake + ACKs: the transport overhead the paper quantifies.
+//! assert!(cost.layers.l4_header > cost.layers.dns);
 //! ```
 
 pub use dohmark_dns_wire as dns;
