@@ -414,6 +414,33 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pair_edge_cases() {
+        // The writer emits supplementary-plane characters literally; the
+        // parser accepts both the literal and the escaped-pair spelling.
+        let mut text = String::new();
+        write_escaped(&mut text, "😀");
+        assert_eq!(text, "\"😀\"");
+        assert_eq!(parse(&text).unwrap().as_str(), Some("😀"));
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        // The extremes of the surrogate-addressable range.
+        assert_eq!(parse(r#""𐀀""#).unwrap().as_str(), Some("\u{10000}"));
+        assert_eq!(parse(r#""􏿿""#).unwrap().as_str(), Some("\u{10FFFF}"));
+        // Lone or mismatched surrogates are unrepresentable in UTF-8 and
+        // must be rejected, not replaced.
+        for bad in [
+            r#""\ud83d""#,       // lone high, end of string
+            r#""\ud83dx""#,      // lone high, literal follows
+            r#""\ud83d\u0041""#, // high + non-surrogate escape
+            r#""\ud83d\ud83d""#, // high + high
+            r#""\udc00""#,       // lone low
+            r#""\ude00\ud83d""#, // pair in the wrong order
+            r#""\ud83d\ud""#,    // truncated second escape
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
     fn rejects_malformed_documents() {
         for bad in
             ["", "{", "{\"a\"}", "[1,]", "{\"a\":1,}", "tru", "1 2", "\"unterminated", "{\"a\": }"]

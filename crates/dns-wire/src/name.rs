@@ -318,6 +318,44 @@ mod tests {
     }
 
     #[test]
+    fn name_at_offset_0x3fff_compresses_to_a_pointer() {
+        // Place a name so its first label starts at exactly 0x3FFF — the
+        // last offset a 14-bit pointer can address — and check a later
+        // occurrence compresses to a pointer there and decodes back.
+        let name = Name::parse("edge.example.com").unwrap();
+        let mut w = Writer::new();
+        w.bytes(&vec![0u8; 0x3FFF]);
+        name.encode(&mut w);
+        let first_len = w.len();
+        assert_eq!(first_len, 0x3FFF + name.wire_len());
+        name.encode(&mut w);
+        let wire = w.finish();
+        // Second occurrence is a bare 2-byte pointer: 0xC000 | 0x3FFF.
+        assert_eq!(wire.len(), first_len + 2);
+        assert_eq!(&wire[first_len..], &[0xFF, 0xFF]);
+        let mut r = Reader::new(&wire);
+        r.seek(first_len).unwrap();
+        assert_eq!(Name::decode(&mut r).unwrap(), name);
+    }
+
+    #[test]
+    fn name_past_offset_0x3fff_is_not_compressed() {
+        // One byte further and the suffix is out of pointer range: the
+        // writer must fall back to the full encoding, never a bogus pointer.
+        let name = Name::parse("far.example.com").unwrap();
+        let mut w = Writer::new();
+        w.bytes(&vec![0u8; 0x4000]);
+        name.encode(&mut w);
+        let first_len = w.len();
+        name.encode(&mut w);
+        let wire = w.finish();
+        assert_eq!(wire.len(), first_len + name.wire_len());
+        let mut r = Reader::new(&wire);
+        r.seek(first_len).unwrap();
+        assert_eq!(Name::decode(&mut r).unwrap(), name);
+    }
+
+    #[test]
     fn uncompressed_writer_repeats_full_name() {
         let a = Name::parse("example.com").unwrap();
         let mut w = Writer::uncompressed();

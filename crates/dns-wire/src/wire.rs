@@ -154,20 +154,23 @@ impl Writer {
     /// Looks up a previously written name suffix equal to `labels`.
     ///
     /// Returns the message offset of that suffix if it is addressable by a
-    /// 14-bit compression pointer.
+    /// 14-bit compression pointer. A 14-bit pointer encodes offsets
+    /// `0..=0x3FFF`, so `0x3FFF` itself is a valid target.
     pub fn find_suffix(&self, labels: &[String]) -> Option<usize> {
         if !self.compress {
             return None;
         }
         self.name_offsets
             .iter()
-            .find(|(suffix, off)| suffix == labels && *off < 0x3FFF)
+            .find(|(suffix, off)| suffix == labels && *off < 0x4000)
             .map(|(_, off)| *off)
     }
 
     /// Registers `labels` as a compression target starting at `offset`.
+    /// Offsets past `0x3FFF` are unreachable by a 14-bit pointer and are
+    /// silently discarded.
     pub fn register_suffix(&mut self, labels: Vec<String>, offset: usize) {
-        if self.compress && offset < 0x3FFF {
+        if self.compress && offset < 0x4000 {
             self.name_offsets.push((labels, offset));
         }
     }
@@ -223,6 +226,20 @@ mod tests {
         w.register_suffix(vec!["example".into(), "com".into()], 12);
         assert_eq!(w.find_suffix(&["example".into(), "com".into()]), Some(12));
         assert_eq!(w.find_suffix(&["com".into()]), None);
+    }
+
+    #[test]
+    fn suffix_at_exactly_0x3fff_is_a_valid_pointer_target() {
+        // A 14-bit pointer addresses offsets 0..=0x3FFF; the boundary
+        // offset itself must be registered and found (regression: the guard
+        // used to be `< 0x3FFF`, rejecting the last addressable offset).
+        let mut w = Writer::new();
+        w.register_suffix(vec!["example".into(), "com".into()], 0x3FFF);
+        assert_eq!(w.find_suffix(&["example".into(), "com".into()]), Some(0x3FFF));
+        // One past the boundary is genuinely unreachable.
+        let mut w2 = Writer::new();
+        w2.register_suffix(vec!["example".into(), "com".into()], 0x4000);
+        assert_eq!(w2.find_suffix(&["example".into(), "com".into()]), None);
     }
 
     #[test]

@@ -199,6 +199,41 @@ fn decoder_total_on_arbitrary_input() {
     });
 }
 
+/// Round-trips survive prior content pushing name-suffix offsets past the
+/// 14-bit compression-pointer boundary (`0x3FFF`): suffixes first seen past
+/// it are unreachable by a pointer and must be written in full, while
+/// suffixes registered below it stay compressible, and both encodings must
+/// decode to the same message.
+#[test]
+fn round_trip_across_the_compression_pointer_boundary() {
+    for seed in 0..24 {
+        let mut g = Gen::new(seed + 0xB0DA);
+        let mut m = g.message();
+        // Pad with TXT records until the encoding safely passes 0x4000
+        // bytes (estimate without compression; random names rarely share
+        // suffixes, so the margin of 0x800 absorbs what compression saves).
+        let mut estimate = 0usize;
+        while estimate <= 0x4800 {
+            let name = g.name();
+            let strings: Vec<String> = (0..3).map(|_| g.printable(200)).collect();
+            estimate += name.wire_len() + 10 + strings.iter().map(|s| 1 + s.len()).sum::<usize>();
+            m.answers.push(Record::new(name, 60, Rdata::Txt(strings)));
+        }
+        // A shared name whose first occurrence lands past the boundary:
+        // its suffixes must not be offered as (unencodable) pointer targets.
+        let late = g.name();
+        m.answers.push(Record::new(late.clone(), 60, Rdata::Ns(g.name())));
+        m.answers.push(Record::new(late.clone(), 60, Rdata::Cname(late.clone())));
+        let compressed = m.encode();
+        assert!(compressed.len() > 0x4000, "seed {seed}: only {} bytes", compressed.len());
+        let back = Message::decode(&compressed).expect("compressed decode");
+        assert_eq!(back.answers, m.answers, "seed {seed}");
+        let plain = m.encode_uncompressed();
+        assert!(compressed.len() <= plain.len());
+        assert_eq!(Message::decode(&plain).expect("plain decode"), back, "seed {seed}");
+    }
+}
+
 /// Messages survive a JSON round trip through the dns-json codec, for the
 /// record types dns-json represents with typed data.
 #[test]

@@ -1,0 +1,208 @@
+//! Classic DNS over UDP (Do53) — the paper's §3 baseline transport.
+//!
+//! The client binds a **fresh ephemeral source port per query** (as the
+//! paper's measurement client does, so OS-level demultiplexing never
+//! correlates resolutions) and the server answers every well-formed query
+//! with a fixed A record, mirroring the paper's controlled resolver.
+//! Query and response bytes are tagged
+//! [`LayerTag::DnsPayload`](dohmark_netsim::LayerTag) and attributed to the
+//! DNS transaction id.
+
+use crate::{Endpoint, QueryClient};
+use dohmark_dns_wire::{Message, Name, RecordType};
+use dohmark_netsim::{HostId, LayerTag, Sim, SockId, Wake};
+use std::net::Ipv4Addr;
+
+/// A stub resolver answering every query with one fixed A record.
+#[derive(Debug)]
+pub struct Do53Server {
+    sock: SockId,
+    answer: Ipv4Addr,
+    ttl: u32,
+}
+
+impl Do53Server {
+    /// Binds the server on `(host, port)`; answers carry `answer`/`ttl`.
+    pub fn bind(sim: &mut Sim, host: HostId, port: u16, answer: Ipv4Addr, ttl: u32) -> Do53Server {
+        let sock = sim.udp_bind(host, port);
+        Do53Server { sock, answer, ttl }
+    }
+}
+
+impl Endpoint for Do53Server {
+    fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        let Wake::UdpReadable { sock, .. } = wake else { return };
+        if *sock != self.sock {
+            return;
+        }
+        while let Some((src_host, src_port, data)) = sim.udp_recv(self.sock) {
+            // Corrupted datagrams that no longer parse are dropped, exactly
+            // like a real resolver would drop them.
+            let Ok(query) = Message::decode(&data) else { continue };
+            let response = Message::fixed_a_response(&query, self.answer, self.ttl);
+            sim.set_attr(u32::from(query.header.id));
+            sim.udp_send(self.sock, (src_host, src_port), LayerTag::DnsPayload, response.encode());
+        }
+    }
+}
+
+/// A Do53 client multiplexing queries over fresh ephemeral source ports.
+#[derive(Debug)]
+pub struct Do53Client {
+    host: HostId,
+    server: (HostId, u16),
+    /// In-flight queries: `(transaction id, socket the reply arrives on)`.
+    pending: Vec<(u16, SockId)>,
+    responses: Vec<Message>,
+}
+
+impl Do53Client {
+    /// A client on `host` querying `server`.
+    pub fn new(host: HostId, server: (HostId, u16)) -> Do53Client {
+        Do53Client { host, server, pending: Vec::new(), responses: Vec::new() }
+    }
+
+    /// Sends the query and runs the simulation until its response arrives;
+    /// see [`crate::resolve_with`] for the driving semantics.
+    pub fn resolve(
+        &mut self,
+        sim: &mut Sim,
+        peer: &mut dyn Endpoint,
+        name: &Name,
+        id: u16,
+    ) -> Option<Message> {
+        crate::resolve_with(sim, self, peer, name, id)
+    }
+}
+
+impl QueryClient for Do53Client {
+    /// Sends an A query for `name` with transaction (and attribution) id
+    /// `id` from a freshly bound ephemeral port.
+    fn send_query(&mut self, sim: &mut Sim, name: &Name, id: u16) {
+        let sock = sim.udp_bind(self.host, 0);
+        sim.set_attr(u32::from(id));
+        let query = Message::query(id, name, RecordType::A);
+        sim.udp_send(sock, self.server, LayerTag::DnsPayload, query.encode());
+        self.pending.push((id, sock));
+    }
+
+    fn take_response(&mut self, id: u16) -> Option<Message> {
+        let idx = self.responses.iter().position(|m| m.header.id == id)?;
+        Some(self.responses.remove(idx))
+    }
+}
+
+impl Endpoint for Do53Client {
+    fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        let Wake::UdpReadable { sock, .. } = wake else { return };
+        let Some(idx) = self.pending.iter().position(|(_, s)| s == sock) else {
+            return;
+        };
+        while let Some((_, _, data)) = sim.udp_recv(*sock) {
+            let Ok(response) = Message::decode(&data) else { continue };
+            if response.header.id == self.pending[idx].0 {
+                self.pending.remove(idx);
+                self.responses.push(response);
+                // The query's ephemeral socket has served its purpose;
+                // closing it keeps a long-running client from aliasing
+                // wrapped ephemeral ports onto dead sockets.
+                sim.udp_close(*sock);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohmark_netsim::LinkConfig;
+    use std::net::Ipv4Addr;
+
+    fn setup(seed: u64) -> (Sim, Do53Client, Do53Server) {
+        let mut sim = Sim::new(seed);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, LinkConfig::localhost());
+        let server = Do53Server::bind(&mut sim, resolver, 53, Ipv4Addr::new(192, 0, 2, 7), 300);
+        let client = Do53Client::new(stub, (resolver, 53));
+        (sim, client, server)
+    }
+
+    #[test]
+    fn query_resolves_to_the_fixed_answer() {
+        let (mut sim, mut client, mut server) = setup(1);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        let response = client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+        assert_eq!(response.header.id, 1);
+        assert_eq!(response.answers.len(), 1);
+        assert_eq!(response.answers[0].name, name);
+    }
+
+    #[test]
+    fn each_resolution_is_two_packets_charged_to_its_id() {
+        let (mut sim, mut client, mut server) = setup(2);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        for id in 1..=3u16 {
+            client.resolve(&mut sim, &mut server, &name, id).unwrap();
+        }
+        sim.drain();
+        for id in 1..=3u32 {
+            let cost = sim.meter.cost(id);
+            assert_eq!(cost.packets, 2, "query + response for id {id}");
+            // All non-header bytes are raw DNS payload on Do53.
+            assert_eq!(cost.bytes, cost.layers.dns + cost.layers.l4_header);
+            assert_eq!(cost.layers.l4_header, 2 * 28);
+        }
+    }
+
+    #[test]
+    fn each_query_uses_a_fresh_source_port() {
+        let (mut sim, mut client, mut server) = setup(3);
+        sim.trace.enable(100);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+        client.resolve(&mut sim, &mut server, &name, 2).unwrap();
+        let sources: Vec<String> = sim
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.direction.starts_with("stub"))
+            .map(|r| r.direction.clone())
+            .collect();
+        assert_eq!(sources.len(), 2);
+        assert_ne!(sources[0], sources[1], "source ports must differ");
+    }
+
+    #[test]
+    fn client_closes_its_ephemeral_socket_after_the_response() {
+        let (mut sim, mut client, mut server) = setup(5);
+        sim.trace.enable(16);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+        sim.drain();
+        let dropped_before = sim.dropped_packets();
+        // A stray duplicate response to the query's (now closed) source
+        // port must be dropped, not queued on the dead socket.
+        let query_src = sim.trace.records()[0].direction.clone();
+        let port: u16 =
+            query_src.split("->").next().unwrap().rsplit(':').next().unwrap().parse().unwrap();
+        let stub = dohmark_netsim::HostId(0);
+        let resolver_sock = sim.udp_bind(dohmark_netsim::HostId(1), 0);
+        sim.udp_send(resolver_sock, (stub, port), LayerTag::DnsPayload, vec![0; 12]);
+        sim.drain();
+        assert_eq!(sim.dropped_packets(), dropped_before + 1);
+    }
+
+    #[test]
+    fn lost_query_returns_none() {
+        let mut sim = Sim::new(4);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, LinkConfig::localhost().loss(1.0));
+        let mut server = Do53Server::bind(&mut sim, resolver, 53, Ipv4Addr::new(192, 0, 2, 7), 60);
+        let mut client = Do53Client::new(stub, (resolver, 53));
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        assert!(client.resolve(&mut sim, &mut server, &name, 1).is_none());
+    }
+}

@@ -1,0 +1,461 @@
+//! DNS over TLS (DoT, RFC 7858) client and server.
+//!
+//! Wire shape, byte for byte what a real DoT stack produces:
+//!
+//! * TCP to port 853 (simulated by `netsim::tcp`, so SYN options, ACKs and
+//!   retransmissions are all charged).
+//! * The TLS handshake flights of the configured [`TlsConfig`], sent as
+//!   opaque byte bursts tagged [`LayerTag::Tls`].
+//! * Application data framed into TLS records ([`seal`]): the 5-byte
+//!   record header and
+//!   16-byte AEAD tag are tagged `Tls`, the carried plaintext — the
+//!   RFC 7766 2-byte length prefix plus the DNS message, which the paper
+//!   counts as DNS — is tagged
+//!   [`LayerTag::DnsPayload`](dohmark_netsim::LayerTag).
+//!
+//! The [`ReusePolicy`] decides whether each resolution pays the full
+//! TCP+TLS setup ([`ReusePolicy::Fresh`], the paper's cold case) or shares
+//! one long-lived connection ([`ReusePolicy::Persistent`], which amortises
+//! the handshake to near-zero per-resolution overhead).
+
+use crate::{Endpoint, QueryClient};
+use dohmark_dns_wire::{Message, Name, RecordType};
+use dohmark_netsim::{HostId, LayerTag, ListenerId, Side, Sim, TcpHandle, Wake};
+use dohmark_tls_model::{handshake_flights, seal, Deframer, Flight, TlsConfig};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Connection-reuse policy of a [`DotClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReusePolicy {
+    /// Open a fresh connection per query and close it after the response —
+    /// every resolution pays the whole TCP + TLS handshake (the paper's
+    /// cold-connection case).
+    Fresh,
+    /// Keep one connection open and pipeline all queries over it — the
+    /// handshake is paid once and amortised (the paper's persistent case).
+    Persistent,
+}
+
+/// Shared per-connection TLS state: handshake progress, then record
+/// deframing and RFC 7766 length-prefix reassembly.
+#[derive(Debug)]
+struct TlsStream {
+    handle: TcpHandle,
+    flights: Vec<Flight>,
+    /// Index of the next flight not yet fully sent/received.
+    next_flight: usize,
+    /// Bytes of the currently awaited inbound flight already received.
+    flight_rx: usize,
+    /// Attribution for handshake bytes this endpoint sends.
+    hs_attr: u32,
+    established: bool,
+    deframer: Deframer,
+    /// Reassembled plaintext: a stream of 2-byte-length-prefixed messages.
+    app_rx: Vec<u8>,
+}
+
+impl TlsStream {
+    fn new(handle: TcpHandle, cfg: &TlsConfig, hs_attr: u32) -> TlsStream {
+        TlsStream {
+            handle,
+            flights: handshake_flights(cfg),
+            next_flight: 0,
+            flight_rx: 0,
+            hs_attr,
+            established: false,
+            deframer: Deframer::new(),
+            app_rx: Vec::new(),
+        }
+    }
+
+    fn is_client(&self) -> bool {
+        self.handle.side == Side::Client
+    }
+
+    /// Drives the handshake with `incoming` stream bytes (possibly empty),
+    /// sending our flights when it is our turn; surplus bytes after
+    /// establishment flow into the record deframer. Returns complete
+    /// length-prefixed DNS messages.
+    fn advance(&mut self, sim: &mut Sim, mut incoming: &[u8]) -> Vec<Message> {
+        while !self.established {
+            let Some(flight) = self.flights.get(self.next_flight) else {
+                self.established = true;
+                break;
+            };
+            if flight.from_client == self.is_client() {
+                // Our turn: emit the flight as opaque handshake bytes.
+                sim.set_attr(self.hs_attr);
+                sim.tcp_send(self.handle, LayerTag::Tls, &vec![0u8; flight.bytes]);
+                self.next_flight += 1;
+            } else {
+                let need = flight.bytes - self.flight_rx;
+                let take = need.min(incoming.len());
+                self.flight_rx += take;
+                incoming = &incoming[take..];
+                if self.flight_rx == flight.bytes {
+                    self.flight_rx = 0;
+                    self.next_flight += 1;
+                } else {
+                    return Vec::new(); // need more bytes
+                }
+            }
+        }
+        self.deframer.push(incoming);
+        while let Some(plaintext) = self.deframer.next_plaintext() {
+            self.app_rx.extend_from_slice(&plaintext);
+        }
+        let mut messages = Vec::new();
+        while self.app_rx.len() >= 2 {
+            let len = usize::from(u16::from_be_bytes([self.app_rx[0], self.app_rx[1]]));
+            if self.app_rx.len() < 2 + len {
+                break;
+            }
+            if let Ok(msg) = Message::decode(&self.app_rx[2..2 + len]) {
+                messages.push(msg);
+            }
+            self.app_rx.drain(..2 + len);
+        }
+        messages
+    }
+
+    /// Seals `message` into TLS records on the stream, attributing the
+    /// record framing to `Tls` and the length-prefixed DNS bytes to
+    /// `DnsPayload`, all under attribution `attr`.
+    fn send_message(&mut self, sim: &mut Sim, message: &Message, attr: u32) {
+        let wire = message.encode();
+        let mut plaintext = Vec::with_capacity(2 + wire.len());
+        plaintext.extend_from_slice(&(wire.len() as u16).to_be_bytes());
+        plaintext.extend_from_slice(&wire);
+        sim.set_attr(attr);
+        for record in seal(&plaintext) {
+            sim.tcp_send(self.handle, LayerTag::Tls, &record.header);
+            sim.tcp_send(self.handle, LayerTag::DnsPayload, &record.plaintext);
+            sim.tcp_send(self.handle, LayerTag::Tls, &record.tag);
+        }
+    }
+}
+
+/// A DoT client resolving names against one server.
+#[derive(Debug)]
+pub struct DotClient {
+    host: HostId,
+    server: (HostId, u16),
+    tls_cfg: TlsConfig,
+    policy: ReusePolicy,
+    /// Attribution for connection setup under [`ReusePolicy::Persistent`];
+    /// fresh connections charge setup to the resolution that opened them.
+    conn_attr: u32,
+    conn: Option<TlsStream>,
+    /// Queries accepted before the connection established.
+    queued: Vec<(u16, Name)>,
+    responses: Vec<Message>,
+}
+
+impl DotClient {
+    /// A client on `host` for `server`, usually `(resolver, 853)`.
+    ///
+    /// Under [`ReusePolicy::Persistent`] the TCP+TLS setup bytes are
+    /// attributed to `conn_attr`; under [`ReusePolicy::Fresh`] each
+    /// resolution's setup is attributed to its own transaction id.
+    pub fn new(
+        host: HostId,
+        server: (HostId, u16),
+        tls_cfg: TlsConfig,
+        policy: ReusePolicy,
+        conn_attr: u32,
+    ) -> DotClient {
+        DotClient {
+            host,
+            server,
+            tls_cfg,
+            policy,
+            conn_attr,
+            conn: None,
+            queued: Vec::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self, sim: &mut Sim) {
+        let Some(conn) = self.conn.as_mut() else { return };
+        if !conn.established {
+            return;
+        }
+        for (id, name) in self.queued.drain(..) {
+            let query = Message::query(id, &name, RecordType::A);
+            conn.send_message(sim, &query, u32::from(id));
+        }
+    }
+
+    /// Whether the client currently holds an established connection.
+    pub fn is_connected(&self) -> bool {
+        self.conn.as_ref().is_some_and(|c| c.established)
+    }
+
+    /// Sends the query and runs the simulation until its response arrives;
+    /// see [`crate::resolve_with`] for the driving semantics.
+    pub fn resolve(
+        &mut self,
+        sim: &mut Sim,
+        peer: &mut dyn Endpoint,
+        name: &Name,
+        id: u16,
+    ) -> Option<Message> {
+        crate::resolve_with(sim, self, peer, name, id)
+    }
+}
+
+impl QueryClient for DotClient {
+    /// Queues an A query for `name` with transaction id `id`, opening a
+    /// connection if none is usable. The query is transmitted as soon as
+    /// the TLS handshake completes (immediately, when already established).
+    fn send_query(&mut self, sim: &mut Sim, name: &Name, id: u16) {
+        let dead = self.conn.as_ref().is_some_and(|c| sim.tcp_has_failed(c.handle));
+        if self.conn.is_none() || dead {
+            let attr = match self.policy {
+                ReusePolicy::Fresh => u32::from(id),
+                ReusePolicy::Persistent => self.conn_attr,
+            };
+            sim.set_attr(attr);
+            let handle = sim.tcp_connect(self.host, self.server);
+            self.conn = Some(TlsStream::new(handle, &self.tls_cfg, attr));
+        }
+        self.queued.push((id, name.clone()));
+        self.flush(sim);
+    }
+
+    fn take_response(&mut self, id: u16) -> Option<Message> {
+        let idx = self.responses.iter().position(|m| m.header.id == id)?;
+        Some(self.responses.remove(idx))
+    }
+}
+
+impl Endpoint for DotClient {
+    fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        let Some(conn) = self.conn.as_mut() else { return };
+        match *wake {
+            Wake::TcpConnected { conn: handle, .. } if handle == conn.handle => {
+                // TCP is up: kick off the TLS handshake (ClientHello).
+                let _ = conn.advance(sim, &[]);
+                self.flush(sim);
+            }
+            Wake::TcpReadable { conn: handle, .. } if handle == conn.handle => {
+                let data = sim.tcp_recv(handle);
+                let was_established = conn.established;
+                let responses = conn.advance(sim, &data);
+                let got_response = !responses.is_empty();
+                self.responses.extend(responses);
+                if !was_established && conn.established {
+                    self.flush(sim);
+                }
+                if got_response && self.policy == ReusePolicy::Fresh {
+                    // Cold connections are one-shot: close after the answer.
+                    let handle = self.conn.take().expect("conn is live").handle;
+                    sim.tcp_close(handle);
+                }
+            }
+            Wake::TcpFin { conn: handle, .. } if handle == conn.handle => {
+                // Server closed on us; drop the connection state so the
+                // next query reconnects.
+                sim.tcp_close(handle);
+                self.conn = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A DoT server answering every query with one fixed A record.
+#[derive(Debug)]
+pub struct DotServer {
+    listener: ListenerId,
+    tls_cfg: TlsConfig,
+    answer: Ipv4Addr,
+    ttl: u32,
+    conns: HashMap<TcpHandle, TlsStream>,
+}
+
+impl DotServer {
+    /// Listens on `(host, port)`; answers carry `answer`/`ttl`. The TLS
+    /// config must match the clients' (both ends of the byte model derive
+    /// flight sizes from it).
+    pub fn bind(
+        sim: &mut Sim,
+        host: HostId,
+        port: u16,
+        tls_cfg: TlsConfig,
+        answer: Ipv4Addr,
+        ttl: u32,
+    ) -> DotServer {
+        let listener = sim.tcp_listen(host, port);
+        DotServer { listener, tls_cfg, answer, ttl, conns: HashMap::new() }
+    }
+
+    /// Established-and-open connection count (for tests and reports).
+    pub fn open_connections(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+impl Endpoint for DotServer {
+    fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        match *wake {
+            Wake::TcpAccepted { listener, conn: handle, .. } if listener == self.listener => {
+                // Setup bytes we send are charged to whatever attribution
+                // the connecting client's setup used (current attr).
+                let attr = sim.attr();
+                self.conns.insert(handle, TlsStream::new(handle, &self.tls_cfg, attr));
+            }
+            Wake::TcpReadable { conn: handle, .. } if handle.side == Side::Server => {
+                let Some(conn) = self.conns.get_mut(&handle) else { return };
+                let data = sim.tcp_recv(handle);
+                for query in conn.advance(sim, &data) {
+                    let response = Message::fixed_a_response(&query, self.answer, self.ttl);
+                    conn.send_message(sim, &response, u32::from(query.header.id));
+                }
+            }
+            Wake::TcpFin { conn: handle, .. }
+                if handle.side == Side::Server && self.conns.remove(&handle).is_some() =>
+            {
+                sim.tcp_close(handle);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohmark_netsim::LinkConfig;
+    use dohmark_tls_model::handshake_bytes;
+    use std::net::Ipv4Addr;
+
+    fn dot_tls() -> TlsConfig {
+        TlsConfig::for_server("dns.example.net").alpn("dot")
+    }
+
+    fn setup(seed: u64, policy: ReusePolicy) -> (Sim, DotClient, DotServer) {
+        let mut sim = Sim::new(seed);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, LinkConfig::localhost());
+        let server =
+            DotServer::bind(&mut sim, resolver, 853, dot_tls(), Ipv4Addr::new(192, 0, 2, 7), 300);
+        let client = DotClient::new(stub, (resolver, 853), dot_tls(), policy, 0);
+        (sim, client, server)
+    }
+
+    #[test]
+    fn cold_resolution_answers_and_charges_the_handshake() {
+        let (mut sim, mut client, mut server) = setup(1, ReusePolicy::Fresh);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        let response = client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+        assert_eq!(response.answers[0].name, name);
+        sim.drain();
+        let cost = sim.meter.cost(1);
+        // The resolution paid the whole TLS handshake plus two sealed
+        // records (21 B overhead each way).
+        let hs = handshake_bytes(&dot_tls()) as u64;
+        assert_eq!(cost.layers.tls, hs + 2 * 21);
+        // DNS bytes: 2-byte prefix + message, each way.
+        let query_len = Message::query(1, &name, RecordType::A).encode().len() as u64;
+        let resp_len = response.encode().len() as u64;
+        assert_eq!(cost.layers.dns, query_len + resp_len + 4);
+    }
+
+    #[test]
+    fn fresh_policy_closes_and_reopens_per_query() {
+        let (mut sim, mut client, mut server) = setup(2, ReusePolicy::Fresh);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        for id in 1..=2u16 {
+            client.resolve(&mut sim, &mut server, &name, id).unwrap();
+            assert!(!client.is_connected(), "cold connection must close");
+        }
+        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        assert_eq!(server.open_connections(), 0);
+        let hs = handshake_bytes(&dot_tls()) as u64;
+        // Both resolutions paid the full handshake independently.
+        assert_eq!(sim.meter.cost(1).layers.tls, hs + 2 * 21);
+        assert_eq!(sim.meter.cost(2).layers.tls, hs + 2 * 21);
+    }
+
+    #[test]
+    fn persistent_policy_amortises_the_handshake() {
+        let (mut sim, mut client, mut server) = setup(3, ReusePolicy::Persistent);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        for id in 1..=5u16 {
+            client.resolve(&mut sim, &mut server, &name, id).unwrap();
+        }
+        assert!(client.is_connected());
+        sim.drain();
+        let hs = handshake_bytes(&dot_tls()) as u64;
+        // Setup lives under the connection attribution…
+        assert_eq!(sim.meter.cost(0).layers.tls, hs);
+        // …and each resolution pays only per-record framing overhead.
+        for id in 1..=5u32 {
+            assert_eq!(sim.meter.cost(id).layers.tls, 2 * 21, "id {id}");
+        }
+    }
+
+    #[test]
+    fn tls12_and_resumption_configs_work_end_to_end() {
+        use dohmark_tls_model::TlsVersion;
+        for cfg in [
+            TlsConfig { version: TlsVersion::Tls12, ..dot_tls() },
+            TlsConfig { resumption: true, ..dot_tls() },
+            TlsConfig { version: TlsVersion::Tls12, resumption: true, ..dot_tls() },
+        ] {
+            let mut sim = Sim::new(4);
+            let stub = sim.add_host("stub");
+            let resolver = sim.add_host("resolver");
+            sim.add_link(stub, resolver, LinkConfig::localhost());
+            let mut server = DotServer::bind(
+                &mut sim,
+                resolver,
+                853,
+                cfg.clone(),
+                Ipv4Addr::new(192, 0, 2, 7),
+                60,
+            );
+            let mut client =
+                DotClient::new(stub, (resolver, 853), cfg.clone(), ReusePolicy::Fresh, 0);
+            let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+            let response = client.resolve(&mut sim, &mut server, &name, 9);
+            assert!(response.is_some(), "no response for {cfg:?}");
+            sim.drain();
+            assert!(sim.meter.cost(9).layers.tls >= handshake_bytes(&cfg) as u64);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_dot_costs() {
+        let run = |seed: u64| {
+            let (mut sim, mut client, mut server) = setup(seed, ReusePolicy::Persistent);
+            let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+            for id in 1..=3u16 {
+                client.resolve(&mut sim, &mut server, &name, id).unwrap();
+            }
+            sim.drain();
+            (sim.meter.total(), sim.now())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn queries_survive_a_lossy_link_via_tcp_retransmission() {
+        let mut sim = Sim::new(11);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, LinkConfig::localhost().loss(0.2));
+        let mut server =
+            DotServer::bind(&mut sim, resolver, 853, dot_tls(), Ipv4Addr::new(192, 0, 2, 7), 60);
+        let mut client =
+            DotClient::new(stub, (resolver, 853), dot_tls(), ReusePolicy::Persistent, 0);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        let response = client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+        assert_eq!(response.answers.len(), 1);
+        assert!(sim.dropped_packets() > 0, "the link should actually have lost packets");
+    }
+}

@@ -1,15 +1,122 @@
-//! DoH/DoT/UDP DNS clients and servers (under construction).
+//! Simulated DNS transports: UDP Do53 and DoT clients/servers with
+//! per-resolution cost attribution.
 //!
-//! # Planned design
+//! This crate drives `dohmark-netsim` with protocol-faithful DNS message
+//! exchanges — every byte the [`CostMeter`](dohmark_netsim::CostMeter)
+//! records is a byte the corresponding real transport would put on the
+//! wire:
 //!
-//! This crate will drive `dohmark-netsim` with protocol-faithful DNS
-//! transports: a UDP client multiplexing queries over ephemeral source
-//! ports (the paper's §3 baseline), a DoT client framing `dohmark-dns-wire`
-//! messages with 2-byte length prefixes over TLS, and DoH clients speaking
-//! HTTP/1.1 and HTTP/2 through `dohmark-httpsim` — with connection reuse
-//! policies (fresh vs. persistent) as the key experimental axis. Each
-//! resolution gets a unique attribution id so the simulator's `CostMeter`
-//! can reproduce the per-resolution byte/packet distributions behind the
-//! paper's Figures 3–5.
+//! * [`do53`] — classic DNS over UDP, the paper's §3 baseline. The client
+//!   sends each query from a **fresh ephemeral source port** and matches
+//!   responses by transaction id.
+//! * [`dot`] — DNS over TLS (RFC 7858): messages carry the RFC 7766
+//!   2-byte length prefix and travel inside TLS application-data records
+//!   over simulated TCP, with handshake bytes taken from the
+//!   `dohmark-tls-model` flight model. The [`ReusePolicy`] axis — fresh
+//!   connection per query vs. one persistent connection —
+//!   reproduces the paper's key cost contrast: the TLS handshake dominates
+//!   until amortised over many resolutions.
+//!
+//! # Attribution
+//!
+//! Each resolution is identified by its DNS transaction id, which doubles
+//! as the simulator attribution id: clients call
+//! [`Sim::set_attr`](dohmark_netsim::Sim::set_attr) before writing query
+//! bytes and servers set it from the decoded query id before answering, so
+//! the meter splits cost per resolution. Connection setup (TCP handshake +
+//! TLS flights) is charged to the id current when the connection was
+//! opened: the resolution's own id for fresh connections, a caller-chosen
+//! connection id for persistent ones.
+//!
+//! # Driving the simulation
+//!
+//! Endpoints implement [`Endpoint`] and react to simulator
+//! [`Wake`]s. The blocking `resolve` helpers on the
+//! clients run the wake loop internally, dispatching every wake to both
+//! ends, and return when the matching response arrives:
+//!
+//! ```
+//! use dohmark_dns_wire::Name;
+//! use dohmark_doh::do53::{Do53Client, Do53Server};
+//! use dohmark_netsim::{LinkConfig, Sim};
+//!
+//! let mut sim = Sim::new(42);
+//! let stub = sim.add_host("stub");
+//! let resolver = sim.add_host("resolver");
+//! sim.add_link(stub, resolver, LinkConfig::localhost());
+//! let mut server = Do53Server::bind(&mut sim, resolver, 53, [192, 0, 2, 1].into(), 300);
+//! let mut client = Do53Client::new(stub, (resolver, 53));
+//! let name = Name::parse("example.com").unwrap();
+//! let response = client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+//! assert_eq!(response.answers.len(), 1);
+//! ```
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod do53;
+pub mod dot;
+
+pub use do53::{Do53Client, Do53Server};
+pub use dot::{DotClient, DotServer, ReusePolicy};
+
+use dohmark_dns_wire::{Message, Name};
+use dohmark_netsim::{Sim, Wake};
+
+/// A simulation participant that reacts to application-visible wakes.
+///
+/// `on_wake` is called for **every** wake the driver pops, including ones
+/// addressed to other endpoints; implementations must filter by their own
+/// socket/connection handles and ignore the rest.
+pub trait Endpoint {
+    /// Reacts to one wake (possibly not addressed to this endpoint).
+    fn on_wake(&mut self, sim: &mut Sim, wake: &Wake);
+}
+
+/// A transport client that can start a resolution and surface its result —
+/// the hooks [`resolve_with`] drives, shared by every transport (and by the
+/// DoH clients to come).
+pub trait QueryClient: Endpoint {
+    /// Starts an A-record resolution for `name` with transaction (and
+    /// attribution) id `id`.
+    fn send_query(&mut self, sim: &mut Sim, name: &Name, id: u16);
+
+    /// Removes and returns the response to transaction `id`, if received.
+    fn take_response(&mut self, id: u16) -> Option<Message>;
+}
+
+/// Sends one query and runs the simulation until its response arrives,
+/// dispatching every wake to both the client and `peer`.
+///
+/// Returns `None` if the simulation runs dry first (e.g. an unanswered
+/// datagram on a lossy link — the clients model no application retries).
+/// Wakes not consumed by either endpoint (such as unrelated app timers)
+/// are discarded.
+pub fn resolve_with(
+    sim: &mut Sim,
+    client: &mut (impl QueryClient + ?Sized),
+    peer: &mut dyn Endpoint,
+    name: &Name,
+    id: u16,
+) -> Option<Message> {
+    client.send_query(sim, name, id);
+    loop {
+        if let Some(response) = client.take_response(id) {
+            return Some(response);
+        }
+        let wake = sim.next_wake()?;
+        client.on_wake(sim, &wake);
+        peer.on_wake(sim, &wake);
+    }
+}
+
+/// Runs the simulation to quiescence, dispatching every wake to all
+/// `endpoints` — unlike [`Sim::drain`], which discards wakes, so teardown
+/// traffic (FINs) still reaches the endpoints' state machines.
+pub fn drain_endpoints(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint]) {
+    while let Some(wake) = sim.next_wake() {
+        for endpoint in endpoints.iter_mut() {
+            endpoint.on_wake(sim, &wake);
+        }
+    }
+}

@@ -44,8 +44,28 @@ impl LinkConfig {
     }
 
     /// A LAN/university-uplink-like path with the given round-trip time.
+    ///
+    /// The one-way latency is `ceil(rtt / 2)`: flooring would make the two
+    /// directions of a symmetric link sum to `rtt - 1` ns for odd RTTs. Use
+    /// [`LinkConfig::with_rtt_pair`] when an odd round trip must be matched
+    /// exactly.
     pub fn with_rtt(rtt: SimDuration) -> LinkConfig {
-        LinkConfig { latency: rtt / 2, ..LinkConfig::default() }
+        let half_up = SimDuration::from_nanos(rtt.as_nanos().div_ceil(2));
+        LinkConfig { latency: half_up, ..LinkConfig::default() }
+    }
+
+    /// Per-direction configs whose one-way latencies sum exactly to `rtt`;
+    /// the forward direction carries the extra nanosecond of an odd RTT.
+    /// Feed the pair to [`add_link_asymmetric`].
+    ///
+    /// [`add_link_asymmetric`]: ../sim/struct.Sim.html#method.add_link_asymmetric
+    pub fn with_rtt_pair(rtt: SimDuration) -> (LinkConfig, LinkConfig) {
+        let forward = SimDuration::from_nanos(rtt.as_nanos().div_ceil(2));
+        let reverse = SimDuration::from_nanos(rtt.as_nanos() / 2);
+        (
+            LinkConfig { latency: forward, ..LinkConfig::default() },
+            LinkConfig { latency: reverse, ..LinkConfig::default() },
+        )
     }
 
     /// Sets the bandwidth in megabits per second.
@@ -73,10 +93,17 @@ impl LinkConfig {
     }
 
     /// Serialisation delay of `bytes` at the configured bandwidth.
+    ///
+    /// Computed in exact integer nanoseconds (`bytes * 8 * 1e9 / bps`,
+    /// truncating) so delays are platform-independent and never accumulate
+    /// float rounding error; a zero bandwidth is clamped to 1 bps.
     pub fn serialise(&self, bytes: usize) -> SimDuration {
         match self.bandwidth_bps {
             None => SimDuration::ZERO,
-            Some(bps) => SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps as f64),
+            Some(bps) => {
+                let ns = bytes as u128 * 8 * 1_000_000_000 / u128::from(bps.max(1));
+                SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+            }
         }
     }
 }
@@ -149,6 +176,43 @@ mod tests {
     fn rtt_helper_splits_latency() {
         let cfg = LinkConfig::with_rtt(SimDuration::from_millis(20));
         assert_eq!(cfg.latency, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn odd_rtt_rounds_up_not_down() {
+        // 7.000000001 ms: flooring rtt/2 would silently shave 1 ns off the
+        // round trip; with_rtt rounds the half up instead.
+        let rtt = SimDuration::from_nanos(7_000_001);
+        let cfg = LinkConfig::with_rtt(rtt);
+        assert_eq!(cfg.latency, SimDuration::from_nanos(3_500_001));
+    }
+
+    #[test]
+    fn rtt_pair_sums_exactly_for_odd_rtts() {
+        for rtt_ns in [1u64, 21, 999_999_999, 1_000_000_000] {
+            let rtt = SimDuration::from_nanos(rtt_ns);
+            let (fwd, rev) = LinkConfig::with_rtt_pair(rtt);
+            assert_eq!(fwd.latency + rev.latency, rtt, "rtt {rtt_ns} ns");
+            assert!(fwd.latency.as_nanos() - rev.latency.as_nanos() <= 1);
+        }
+    }
+
+    #[test]
+    fn serialisation_is_exact_integer_nanoseconds() {
+        // 1500 B at 7 Mbps: 12 000 bits / 7e6 bps = 1 714 285.714… µs-scale
+        // value that f64 arithmetic used to round; the integer path
+        // truncates to exactly 1 714 285 ns on every platform.
+        let cfg = LinkConfig::default().bandwidth_mbps(7);
+        assert_eq!(cfg.serialise(1500), SimDuration::from_nanos(1_714_285));
+        // Exact divisions stay exact.
+        let cfg8 = LinkConfig::default().bandwidth_mbps(8);
+        assert_eq!(cfg8.serialise(1500), SimDuration::from_micros(1500));
+        // Huge transfers cannot overflow or lose precision.
+        let slow = LinkConfig { bandwidth_bps: Some(1), ..LinkConfig::default() };
+        assert_eq!(slow.serialise(2), SimDuration::from_secs(16));
+        // Zero bandwidth clamps to 1 bps instead of dividing by zero.
+        let zero = LinkConfig { bandwidth_bps: Some(0), ..LinkConfig::default() };
+        assert_eq!(zero.serialise(1), SimDuration::from_secs(8));
     }
 
     #[test]

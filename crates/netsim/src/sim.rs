@@ -169,6 +169,7 @@ struct UdpSock {
     host: usize,
     port: u16,
     rx: VecDeque<(HostId, u16, Vec<u8>)>,
+    open: bool,
 }
 
 /// The simulator.
@@ -306,8 +307,18 @@ impl Sim {
     /// independent source ports.
     pub fn udp_bind(&mut self, host: HostId, port: u16) -> SockId {
         let port = if port == 0 { self.alloc_ephemeral() } else { port };
-        self.udp.push(UdpSock { host: host.0, port, rx: VecDeque::new() });
+        self.udp.push(UdpSock { host: host.0, port, rx: VecDeque::new(), open: true });
         SockId(self.udp.len() - 1)
+    }
+
+    /// Closes a UDP socket: queued datagrams are discarded and later
+    /// arrivals no longer match it. Long-running clients that bind an
+    /// ephemeral socket per query must close them, or a wrapped ephemeral
+    /// port would alias a dead socket and swallow responses.
+    pub fn udp_close(&mut self, sock: SockId) {
+        let s = &mut self.udp[sock.0];
+        s.open = false;
+        s.rx.clear();
     }
 
     /// The local port of a UDP socket.
@@ -397,7 +408,8 @@ impl Sim {
     fn deliver_udp(&mut self, pkt: Packet) {
         let dst_host = pkt.dst.0 .0;
         let dst_port = pkt.dst.1;
-        let Some(idx) = self.udp.iter().position(|s| s.host == dst_host && s.port == dst_port)
+        let Some(idx) =
+            self.udp.iter().position(|s| s.open && s.host == dst_host && s.port == dst_port)
         else {
             self.dropped += 1;
             return;
@@ -479,6 +491,29 @@ mod tests {
         sim.udp_send(sa, (b, 5353), LayerTag::DnsPayload, vec![0]);
         assert!(sim.next_wake().is_none());
         assert_eq!(sim.dropped_packets(), 1);
+    }
+
+    #[test]
+    fn closed_socket_no_longer_receives_and_frees_its_port() {
+        let (mut sim, a, b) = two_hosts(20);
+        let sa = sim.udp_bind(a, 0);
+        let old = sim.udp_bind(b, 53);
+        sim.udp_send(sa, (b, 53), LayerTag::DnsPayload, vec![1]);
+        sim.next_wake();
+        sim.udp_close(old);
+        assert!(sim.udp_recv(old).is_none(), "queued datagrams are discarded on close");
+        // Datagrams to the dead socket's port are dropped…
+        sim.udp_send(sa, (b, 53), LayerTag::DnsPayload, vec![2]);
+        assert!(sim.next_wake().is_none());
+        assert_eq!(sim.dropped_packets(), 1);
+        // …until a new socket binds the same port and receives instead.
+        let new = sim.udp_bind(b, 53);
+        sim.udp_send(sa, (b, 53), LayerTag::DnsPayload, vec![3]);
+        match sim.next_wake() {
+            Some(Wake::UdpReadable { sock, .. }) => assert_eq!(sock, new),
+            other => panic!("unexpected wake {other:?}"),
+        }
+        assert_eq!(sim.udp_recv(new).unwrap().2, vec![3]);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! The application-facing API lives on [`Sim`]: [`Sim::tcp_listen`],
 //! [`Sim::tcp_connect`], [`Sim::tcp_send`], [`Sim::tcp_recv`] and
 //! [`Sim::tcp_close`], with readiness delivered through
-//! [`Wake`](crate::sim::Wake) events.
+//! [`Wake`] events.
 
 use crate::packet::{Packet, Proto, TaggedRange, TcpFlags, TcpSegMeta, IP_HEADER, TCP_HEADER};
 use crate::sim::{EvKind, HostId, ListenerId, Side, Sim, TcpHandle, Wake};

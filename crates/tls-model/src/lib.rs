@@ -1,14 +1,498 @@
-//! TLS handshake and record-layer byte model (under construction).
+//! TLS 1.2/1.3 handshake and record-layer **byte model**.
 //!
-//! # Planned design
+//! This crate counts bytes; it performs no cryptography. It reproduces the
+//! two quantities the paper's cost accounting needs from TLS:
 //!
-//! A byte-count model of TLS 1.2 and 1.3 — not a cryptographic
-//! implementation: handshake transcripts with realistic message sizes
-//! (ClientHello with SNI/ALPN, certificate chains of configurable length,
-//! session resumption and TLS 1.3 0-RTT), plus per-record framing overhead
-//! (5-byte header + AEAD tag) applied to application writes. The model
-//! exposes a `wrap(bytes) -> records` interface the DoT/DoH clients call,
-//! tagging everything `LayerTag::Tls` so handshake amortisation across
-//! resolutions is measurable exactly as the paper measures it.
+//! 1. **Handshake transcripts** — [`handshake_flights`] turns a
+//!    [`TlsConfig`] (protocol version, SNI hostname, ALPN protocols,
+//!    certificate-chain sizes, session resumption) into an ordered list of
+//!    [`Flight`]s with realistic byte counts, built from the per-message
+//!    size formulas of RFC 5246/8446. Certificate bytes dominate a full
+//!    handshake; resumption removes them, which is exactly the
+//!    fresh-vs-resumed contrast the paper measures.
+//! 2. **Record framing** — every application write is wrapped into records
+//!    of at most [`MAX_PLAINTEXT`] bytes, each costing [`RECORD_HEADER`] +
+//!    [`AEAD_TAG`] bytes of overhead. [`wrap`] gives the byte-count view,
+//!    [`seal`] produces on-wire records (type/version/length header, the
+//!    plaintext verbatim, a zero tag) and [`Deframer`] parses them back out
+//!    of a byte stream.
+//!
+//! Transports charge the framing and handshake bytes to
+//! `LayerTag::Tls` and the carried plaintext to the layer it belongs to
+//! (see `dohmark-doh`), so handshake amortisation across resolutions is
+//! measurable exactly as the paper measures it.
+//!
+//! Deliberate simplifications, chosen to keep counts deterministic without
+//! changing any qualitative result: the AEAD overhead is a uniform 16-byte
+//! tag (no TLS 1.2 explicit IV), NewSessionTicket issuance is not modelled,
+//! and TLS 1.3 0-RTT is out of scope.
+//!
+//! # Example
+//!
+//! ```
+//! use dohmark_tls_model::{handshake_bytes, handshake_flights, TlsConfig};
+//!
+//! let full = TlsConfig::for_server("dns.example.net");
+//! let resumed = TlsConfig { resumption: true, ..full.clone() };
+//! // Resumption elides the certificate chain and signature.
+//! assert!(handshake_bytes(&resumed) + 2000 < handshake_bytes(&full));
+//! assert!(handshake_flights(&full)[0].from_client);
+//! ```
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+/// TLS record header: content type (1), legacy version (2), length (2).
+pub const RECORD_HEADER: usize = 5;
+/// AEAD authentication tag appended to every encrypted record.
+pub const AEAD_TAG: usize = 16;
+/// Maximum plaintext bytes per record (RFC 8446 §5.1: 2^14).
+pub const MAX_PLAINTEXT: usize = 16_384;
+/// Handshake message header: type (1) + 24-bit length (3).
+const HS_HEADER: usize = 4;
+/// A ChangeCipherSpec record: header + 1 payload byte.
+const CCS_RECORD: usize = RECORD_HEADER + 1;
+
+/// Which TLS protocol version the handshake model follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsVersion {
+    /// TLS 1.2 (RFC 5246): 2-RTT full handshake, 1-RTT session-ID resumption.
+    Tls12,
+    /// TLS 1.3 (RFC 8446): 1-RTT full handshake, PSK resumption.
+    Tls13,
+}
+
+/// Parameters of a modelled TLS connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsConfig {
+    /// Protocol version to model.
+    pub version: TlsVersion,
+    /// Server name sent in the SNI extension (its length is on the wire).
+    pub sni: String,
+    /// ALPN protocol names offered by the client (e.g. `"dot"`, `"h2"`).
+    pub alpn: Vec<String>,
+    /// DER sizes of the server certificate chain, leaf first. The default
+    /// models a typical leaf + intermediate pair (~2.3 kB total).
+    pub cert_chain: Vec<usize>,
+    /// Server signature length (CertificateVerify / ServerKeyExchange);
+    /// 256 models RSA-2048, 72 would model ECDSA-P256.
+    pub signature_len: usize,
+    /// Resume a previous session (TLS 1.3 PSK / TLS 1.2 session ID),
+    /// eliding the certificate chain and signature.
+    pub resumption: bool,
+    /// PSK identity (session-ticket) length offered on TLS 1.3 resumption.
+    pub ticket_len: usize,
+}
+
+impl Default for TlsConfig {
+    fn default() -> TlsConfig {
+        TlsConfig {
+            version: TlsVersion::Tls13,
+            sni: String::new(),
+            alpn: Vec::new(),
+            cert_chain: vec![1200, 1100],
+            signature_len: 256,
+            resumption: false,
+            ticket_len: 128,
+        }
+    }
+}
+
+impl TlsConfig {
+    /// A fresh TLS 1.3 connection to `sni` with no ALPN.
+    pub fn for_server(sni: &str) -> TlsConfig {
+        TlsConfig { sni: sni.to_string(), ..TlsConfig::default() }
+    }
+
+    /// Adds an ALPN offer (builder style).
+    pub fn alpn(mut self, protocol: &str) -> TlsConfig {
+        self.alpn.push(protocol.to_string());
+        self
+    }
+}
+
+/// One direction-contiguous burst of handshake bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flight {
+    /// `true` when the client transmits this flight.
+    pub from_client: bool,
+    /// Total wire bytes of the flight, record framing included.
+    pub bytes: usize,
+    /// The handshake messages the flight carries, for reports.
+    pub label: &'static str,
+}
+
+/// Total plaintext-record length: payload plus one 5-byte header per
+/// (at most 16 kB) record, no AEAD tag. Used for pre-encryption messages.
+fn plain_records(payload: usize) -> usize {
+    payload + RECORD_HEADER * payload.div_ceil(MAX_PLAINTEXT).max(1)
+}
+
+/// Total encrypted-record length: payload plus header and tag per record.
+fn sealed_records(payload: usize) -> usize {
+    payload + (RECORD_HEADER + AEAD_TAG) * payload.div_ceil(MAX_PLAINTEXT).max(1)
+}
+
+/// ClientHello size: fixed fields (version, random, legacy session id,
+/// cipher suites, compression, extension length prefix) plus the
+/// variable-length extensions the config controls.
+fn client_hello(cfg: &TlsConfig) -> usize {
+    // 2 version + 32 random + 33 session id + 8 cipher suites (three
+    // offered) + 2 compression + 2 extensions length.
+    let mut body = 79;
+    if !cfg.sni.is_empty() {
+        // type+len (4) + list len (2) + entry type (1) + name len (2).
+        body += 9 + cfg.sni.len();
+    }
+    if !cfg.alpn.is_empty() {
+        body += 6 + cfg.alpn.iter().map(|p| 1 + p.len()).sum::<usize>();
+    }
+    body += match cfg.version {
+        // supported_versions, x25519 key_share, supported_groups,
+        // signature_algorithms, psk_key_exchange_modes.
+        TlsVersion::Tls13 => 7 + 42 + 12 + 22 + 6,
+        // supported_groups, signature_algorithms, ec_point_formats,
+        // extended_master_secret, renegotiation_info, session_ticket.
+        TlsVersion::Tls12 => 12 + 22 + 6 + 4 + 5 + 4,
+    };
+    if cfg.version == TlsVersion::Tls13 && cfg.resumption {
+        // pre_shared_key: one identity (ticket + 4-byte obfuscated age)
+        // plus one 32-byte binder, with the nested length prefixes.
+        body += 47 + cfg.ticket_len;
+    }
+    HS_HEADER + body
+}
+
+/// Certificate message size for the chain (TLS 1.3 shape: request context,
+/// list length, then per-entry 3-byte length + DER + 2-byte extensions).
+fn certificate(cfg: &TlsConfig) -> usize {
+    HS_HEADER + 4 + cfg.cert_chain.iter().map(|der| 5 + der).sum::<usize>()
+}
+
+/// Computes the ordered handshake flights for `cfg`.
+///
+/// Alternating bursts, client first. Application data may flow once every
+/// flight has been delivered (no False Start / 0-RTT modelling).
+pub fn handshake_flights(cfg: &TlsConfig) -> Vec<Flight> {
+    let ch = plain_records(client_hello(cfg));
+    match (cfg.version, cfg.resumption) {
+        (TlsVersion::Tls13, false) => {
+            // ServerHello: fixed fields + supported_versions + key_share.
+            let sh = plain_records(HS_HEADER + 72 + 6 + 40);
+            let encrypted = (HS_HEADER + 10) // EncryptedExtensions
+                + certificate(cfg)
+                + (HS_HEADER + 4 + cfg.signature_len) // CertificateVerify
+                + (HS_HEADER + 32); // Finished
+            vec![
+                Flight { from_client: true, bytes: ch, label: "ClientHello" },
+                Flight {
+                    from_client: false,
+                    bytes: sh + CCS_RECORD + sealed_records(encrypted),
+                    label: "ServerHello..Finished",
+                },
+                Flight {
+                    from_client: true,
+                    bytes: CCS_RECORD + sealed_records(HS_HEADER + 32),
+                    label: "Finished",
+                },
+            ]
+        }
+        (TlsVersion::Tls13, true) => {
+            let sh = plain_records(HS_HEADER + 72 + 6 + 40 + 6); // + pre_shared_key
+            let encrypted = (HS_HEADER + 10) + (HS_HEADER + 32); // EE + Finished
+            vec![
+                Flight { from_client: true, bytes: ch, label: "ClientHello(PSK)" },
+                Flight {
+                    from_client: false,
+                    bytes: sh + CCS_RECORD + sealed_records(encrypted),
+                    label: "ServerHello..Finished",
+                },
+                Flight {
+                    from_client: true,
+                    bytes: CCS_RECORD + sealed_records(HS_HEADER + 32),
+                    label: "Finished",
+                },
+            ]
+        }
+        (TlsVersion::Tls12, false) => {
+            // ServerHello with renegotiation_info, EMS, session_ticket and
+            // ALPN echo; then Certificate, ECDHE ServerKeyExchange (curve
+            // info + 32-byte point + signature), ServerHelloDone.
+            let alpn_echo = cfg.alpn.first().map(|p| 9 + p.len()).unwrap_or(0);
+            let server = (HS_HEADER + 70 + alpn_echo)
+                + certificate(cfg)
+                + (HS_HEADER + 40 + cfg.signature_len)
+                + HS_HEADER;
+            // ClientKeyExchange: 1-byte length + 32-byte ECDHE point.
+            let cke = plain_records(HS_HEADER + 33);
+            let fin = sealed_records(HS_HEADER + 12);
+            vec![
+                Flight { from_client: true, bytes: ch, label: "ClientHello" },
+                Flight {
+                    from_client: false,
+                    bytes: plain_records(server),
+                    label: "ServerHello..HelloDone",
+                },
+                Flight {
+                    from_client: true,
+                    bytes: cke + CCS_RECORD + fin,
+                    label: "ClientKeyExchange+Finished",
+                },
+                Flight { from_client: false, bytes: CCS_RECORD + fin, label: "Finished" },
+            ]
+        }
+        (TlsVersion::Tls12, true) => {
+            let alpn_echo = cfg.alpn.first().map(|p| 9 + p.len()).unwrap_or(0);
+            let sh = plain_records(HS_HEADER + 70 + alpn_echo);
+            let fin = sealed_records(HS_HEADER + 12);
+            vec![
+                Flight { from_client: true, bytes: ch, label: "ClientHello(session-id)" },
+                Flight { from_client: false, bytes: sh + CCS_RECORD + fin, label: "Finished" },
+                Flight { from_client: true, bytes: CCS_RECORD + fin, label: "Finished" },
+            ]
+        }
+    }
+}
+
+/// Total handshake bytes over all flights.
+pub fn handshake_bytes(cfg: &TlsConfig) -> usize {
+    handshake_flights(cfg).iter().map(|f| f.bytes).sum()
+}
+
+/// Byte-count view of one application-data record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlsRecord {
+    /// Plaintext bytes the record carries.
+    pub payload: usize,
+}
+
+impl TlsRecord {
+    /// Framing overhead of any record: header + AEAD tag.
+    pub const OVERHEAD: usize = RECORD_HEADER + AEAD_TAG;
+
+    /// Total wire length of the record.
+    pub fn wire_len(&self) -> usize {
+        self.payload + TlsRecord::OVERHEAD
+    }
+}
+
+/// Splits an application write into records of at most [`MAX_PLAINTEXT`]
+/// plaintext bytes each. A zero-length write produces no records.
+pub fn wrap(bytes: usize) -> Vec<TlsRecord> {
+    let mut records = Vec::with_capacity(bytes.div_ceil(MAX_PLAINTEXT));
+    let mut left = bytes;
+    while left > 0 {
+        let take = left.min(MAX_PLAINTEXT);
+        records.push(TlsRecord { payload: take });
+        left -= take;
+    }
+    records
+}
+
+/// Total wire bytes of `bytes` of application data after record framing.
+pub fn framed_len(bytes: usize) -> usize {
+    wrap(bytes).iter().map(TlsRecord::wire_len).sum()
+}
+
+/// An application-data record ready for the wire: real header bytes, the
+/// plaintext verbatim (this is a byte model, not encryption), a zero tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedRecord {
+    /// `[0x17, 0x03, 0x03, len_hi, len_lo]`; length covers payload + tag.
+    pub header: [u8; RECORD_HEADER],
+    /// The carried plaintext.
+    pub plaintext: Vec<u8>,
+    /// Stand-in AEAD tag (all zeros).
+    pub tag: [u8; AEAD_TAG],
+}
+
+/// Frames `plaintext` into on-wire [`SealedRecord`]s.
+pub fn seal(plaintext: &[u8]) -> Vec<SealedRecord> {
+    plaintext
+        .chunks(MAX_PLAINTEXT)
+        .map(|chunk| {
+            let len = (chunk.len() + AEAD_TAG) as u16;
+            SealedRecord {
+                header: [0x17, 0x03, 0x03, (len >> 8) as u8, (len & 0xFF) as u8],
+                plaintext: chunk.to_vec(),
+                tag: [0; AEAD_TAG],
+            }
+        })
+        .collect()
+}
+
+/// Incremental parser for a stream of sealed records.
+///
+/// Feed raw received bytes with [`Deframer::push`]; complete plaintexts
+/// come back out of [`Deframer::next_plaintext`] in order.
+#[derive(Debug, Default)]
+pub struct Deframer {
+    buf: Vec<u8>,
+}
+
+impl Deframer {
+    /// An empty deframer.
+    pub fn new() -> Deframer {
+        Deframer::default()
+    }
+
+    /// Appends received stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete record's plaintext, if fully received.
+    ///
+    /// A malformed record whose length field is shorter than the AEAD tag
+    /// is consumed as an empty plaintext rather than panicking — a real
+    /// TLS stack would abort the connection there, but a byte model only
+    /// needs to stay total.
+    pub fn next_plaintext(&mut self) -> Option<Vec<u8>> {
+        if self.buf.len() < RECORD_HEADER {
+            return None;
+        }
+        let len = usize::from(u16::from_be_bytes([self.buf[3], self.buf[4]]));
+        let total = RECORD_HEADER + len;
+        if self.buf.len() < total {
+            return None;
+        }
+        let plain_len = len.saturating_sub(AEAD_TAG);
+        let plaintext = self.buf[RECORD_HEADER..RECORD_HEADER + plain_len].to_vec();
+        self.buf.drain(..total);
+        Some(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot_config() -> TlsConfig {
+        TlsConfig::for_server("dns.example.net").alpn("dot")
+    }
+
+    #[test]
+    fn flights_alternate_and_start_with_the_client() {
+        for cfg in [
+            dot_config(),
+            TlsConfig { resumption: true, ..dot_config() },
+            TlsConfig { version: TlsVersion::Tls12, ..dot_config() },
+            TlsConfig { version: TlsVersion::Tls12, resumption: true, ..dot_config() },
+        ] {
+            let flights = handshake_flights(&cfg);
+            assert!(flights[0].from_client, "{cfg:?}");
+            assert!(flights.iter().all(|f| f.bytes > 0));
+            for pair in flights.windows(2) {
+                assert_ne!(pair[0].from_client, pair[1].from_client, "{cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tls13_is_one_round_trip_shorter_than_tls12() {
+        assert_eq!(handshake_flights(&dot_config()).len(), 3);
+        let tls12 = TlsConfig { version: TlsVersion::Tls12, ..dot_config() };
+        assert_eq!(handshake_flights(&tls12).len(), 4);
+    }
+
+    #[test]
+    fn certificates_dominate_a_full_handshake() {
+        let cfg = dot_config();
+        let chain: usize = cfg.cert_chain.iter().sum();
+        let total = handshake_bytes(&cfg);
+        assert!(total > chain, "handshake {total} must carry the {chain}-byte chain");
+        // Within the right order of magnitude of a real TLS 1.3 handshake.
+        assert!((2000..8000).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn resumption_elides_the_certificate_chain() {
+        for version in [TlsVersion::Tls12, TlsVersion::Tls13] {
+            let full = TlsConfig { version, ..dot_config() };
+            let resumed = TlsConfig { resumption: true, ..full.clone() };
+            let saved = handshake_bytes(&full) as i64 - handshake_bytes(&resumed) as i64;
+            let chain: i64 = full.cert_chain.iter().sum::<usize>() as i64;
+            assert!(saved >= chain, "{version:?}: saved {saved} < chain {chain}");
+        }
+    }
+
+    #[test]
+    fn sni_and_alpn_lengths_are_on_the_wire() {
+        let base = TlsConfig::default();
+        let with_sni = TlsConfig { sni: "a".repeat(30), ..base.clone() };
+        assert_eq!(handshake_bytes(&with_sni), handshake_bytes(&base) + 9 + 30);
+        let with_alpn = base.clone().alpn("dot");
+        // Client offer + TLS 1.3 has no plaintext ALPN echo in ServerHello.
+        assert_eq!(handshake_bytes(&with_alpn), handshake_bytes(&base) + 6 + 4);
+    }
+
+    #[test]
+    fn wrap_splits_at_the_record_boundary() {
+        assert!(wrap(0).is_empty());
+        assert_eq!(wrap(100), vec![TlsRecord { payload: 100 }]);
+        let two = wrap(MAX_PLAINTEXT + 1);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0].payload, MAX_PLAINTEXT);
+        assert_eq!(two[1].payload, 1);
+        assert_eq!(framed_len(100), 100 + 21);
+        assert_eq!(framed_len(MAX_PLAINTEXT + 1), MAX_PLAINTEXT + 1 + 2 * 21);
+    }
+
+    #[test]
+    fn seal_then_deframe_round_trips_across_partial_pushes() {
+        let msg: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let mut stream = Vec::new();
+        for rec in seal(&msg) {
+            stream.extend_from_slice(&rec.header);
+            stream.extend_from_slice(&rec.plaintext);
+            stream.extend_from_slice(&rec.tag);
+        }
+        assert_eq!(stream.len(), framed_len(msg.len()));
+        let mut deframer = Deframer::new();
+        let mut out = Vec::new();
+        // Push in awkward 997-byte chunks to exercise partial records.
+        for chunk in stream.chunks(997) {
+            deframer.push(chunk);
+            while let Some(p) = deframer.next_plaintext() {
+                out.extend_from_slice(&p);
+            }
+        }
+        assert_eq!(out, msg);
+        assert_eq!(deframer.buffered(), 0);
+    }
+
+    #[test]
+    fn deframer_tolerates_a_record_shorter_than_the_tag() {
+        // Length field 5 < the 16-byte tag: a real stack would abort the
+        // connection; the byte model consumes it as an empty plaintext and
+        // keeps parsing whatever follows.
+        let mut d = Deframer::new();
+        d.push(&[0x17, 0x03, 0x03, 0x00, 0x05, 1, 2, 3, 4, 5]);
+        assert_eq!(d.next_plaintext(), Some(Vec::new()));
+        assert_eq!(d.buffered(), 0);
+        for rec in seal(&[9; 8]) {
+            d.push(&rec.header);
+            d.push(&rec.plaintext);
+            d.push(&rec.tag);
+        }
+        assert_eq!(d.next_plaintext(), Some(vec![9; 8]));
+    }
+
+    #[test]
+    fn sealed_header_length_field_covers_payload_and_tag() {
+        let recs = seal(&[7; 10]);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].header, [0x17, 0x03, 0x03, 0x00, 26]);
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let cfg = dot_config();
+        assert_eq!(handshake_flights(&cfg), handshake_flights(&cfg));
+    }
+}

@@ -1,12 +1,162 @@
-//! Workload models (under construction).
+//! Query workload generation for the cost experiments.
 //!
-//! # Planned design
+//! Two generators, both fed exclusively by the simulator's seeded
+//! [`SimRng`] (obtain independent streams with
+//! [`Sim::split_rng`](dohmark_netsim::Sim::split_rng) or
+//! [`SimRng::split`]), so whole experiment suites replay bit-for-bit:
 //!
-//! Query workload generation for the experiments: Poisson query arrivals
-//! (the paper's §3 controlled experiment), Zipf-ish name popularity over an
-//! Alexa-like site list, constant-length random query names for uniform
-//! compressibility, and per-site domain fan-out for the page-load model.
-//! All randomness flows from the simulator's seeded `SimRng` so whole
-//! experiment suites replay bit-for-bit.
+//! * [`PoissonArrivals`] — exponentially distributed inter-arrival gaps,
+//!   the paper's §3 controlled query process.
+//! * [`NameGen`] — constant-length random query names under a fixed zone
+//!   (e.g. `k7f2q9xw.dohmark.test.`). The paper uses constant-length
+//!   random prefixes so every query has identical wire size and
+//!   compressibility, making per-resolution byte counts directly
+//!   comparable.
+//!
+//! # Example
+//!
+//! ```
+//! use dohmark_dns_wire::Name;
+//! use dohmark_netsim::{SimDuration, SimRng};
+//! use dohmark_workload::{NameGen, PoissonArrivals};
+//!
+//! let mut rng = SimRng::new(42);
+//! let mut arrivals = PoissonArrivals::new(rng.split(1), SimDuration::from_millis(50));
+//! let mut names = NameGen::new(rng.split(2), 8, &Name::parse("dohmark.test").unwrap());
+//! let gap = arrivals.next_gap();
+//! let name = names.next_name();
+//! assert_eq!(name.labels()[0].len(), 8);
+//! assert!(gap.as_nanos() > 0);
+//! ```
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+use dohmark_dns_wire::Name;
+use dohmark_netsim::{SimDuration, SimRng};
+
+/// A Poisson query-arrival process: i.i.d. exponential inter-arrival gaps
+/// with a configurable mean.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: SimRng,
+    mean: SimDuration,
+}
+
+impl PoissonArrivals {
+    /// A process with the given mean inter-arrival gap, driven by `rng`
+    /// (pass a [`SimRng::split`] stream so arrivals never perturb other
+    /// randomness).
+    pub fn new(rng: SimRng, mean: SimDuration) -> PoissonArrivals {
+        PoissonArrivals { rng, mean }
+    }
+
+    /// The configured mean gap.
+    pub fn mean(&self) -> SimDuration {
+        self.mean
+    }
+
+    /// The next inter-arrival gap.
+    pub fn next_gap(&mut self) -> SimDuration {
+        self.rng.exp_duration(self.mean)
+    }
+}
+
+/// Generates query names with a constant-length random first label under a
+/// fixed zone, so every query encodes to exactly the same wire length.
+#[derive(Debug, Clone)]
+pub struct NameGen {
+    rng: SimRng,
+    label_len: usize,
+    zone: Name,
+}
+
+impl NameGen {
+    /// Names of the form `<random label_len chars>.<zone>`.
+    pub fn new(rng: SimRng, label_len: usize, zone: &Name) -> NameGen {
+        NameGen { rng, label_len, zone: zone.clone() }
+    }
+
+    /// The wire length every generated name encodes to (uncompressed).
+    pub fn wire_len(&self) -> usize {
+        self.zone.wire_len() + 1 + self.label_len
+    }
+
+    /// The next random query name.
+    pub fn next_name(&mut self) -> Name {
+        let label = self.rng.alnum_string(self.label_len);
+        self.zone.child(&label).expect("alnum label under a valid zone is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone() -> Name {
+        Name::parse("dohmark.test").unwrap()
+    }
+
+    #[test]
+    fn arrivals_have_roughly_the_configured_mean() {
+        let mut arrivals = PoissonArrivals::new(SimRng::new(1), SimDuration::from_millis(50));
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|_| arrivals.next_gap().as_nanos()).sum();
+        let mean = total / n;
+        let target = SimDuration::from_millis(50).as_nanos();
+        assert!(
+            (mean as i64 - target as i64).unsigned_abs() < target / 20,
+            "mean {mean} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn arrival_streams_replay_bit_for_bit() {
+        let gaps = |seed: u64| {
+            let mut a = PoissonArrivals::new(SimRng::new(seed), SimDuration::from_millis(10));
+            (0..100).map(|_| a.next_gap()).collect::<Vec<_>>()
+        };
+        assert_eq!(gaps(7), gaps(7));
+        assert_ne!(gaps(7), gaps(8));
+    }
+
+    #[test]
+    fn names_have_constant_wire_length() {
+        let mut names = NameGen::new(SimRng::new(3), 8, &zone());
+        let expected = names.wire_len();
+        for _ in 0..50 {
+            let n = names.next_name();
+            assert_eq!(n.wire_len(), expected);
+            assert_eq!(n.labels()[0].len(), 8);
+            assert!(n.is_subdomain_of(&zone()));
+        }
+    }
+
+    #[test]
+    fn name_streams_replay_bit_for_bit() {
+        let names = |seed: u64| {
+            let mut g = NameGen::new(SimRng::new(seed), 10, &zone());
+            (0..20).map(|_| g.next_name().to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(names(5), names(5));
+        assert_ne!(names(5), names(6));
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        // Consuming arrivals must not change the names drawn, because both
+        // come from independent split streams of one parent.
+        let mut parent1 = SimRng::new(9);
+        let _unused_arrivals_stream = parent1.split(1);
+        let mut names1 = NameGen::new(parent1.split(2), 8, &zone());
+        let mut parent2 = SimRng::new(9);
+        let mut arrivals = PoissonArrivals::new(parent2.split(1), SimDuration::from_millis(1));
+        for _ in 0..100 {
+            arrivals.next_gap();
+        }
+        let mut names2 = NameGen::new(parent2.split(2), 8, &zone());
+        for _ in 0..10 {
+            assert_eq!(names1.next_name(), names2.next_name());
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-resolution DNS transport cost: UDP Do53 vs. cold DoT vs. persistent
+//! DoT — the experiment behind the paper's Figure 3.
+//!
+//! Resolves the same seeded Poisson workload of constant-length random
+//! names over three transports and prints the mean per-resolution byte
+//! cost split by layer. Deterministic: two runs with the same seed produce
+//! byte-identical output.
+//!
+//! Run with: `cargo run --example cost_comparison`
+
+use dohmark::dns::Name;
+use dohmark::doh::{
+    drain_endpoints, Do53Client, Do53Server, DotClient, DotServer, Endpoint, ReusePolicy,
+};
+use dohmark::netsim::{Cost, CostMeter, LinkConfig, Sim, SimDuration, SimTime, Wake};
+use dohmark::tls::{handshake_bytes, TlsConfig};
+use dohmark::workload::{NameGen, PoissonArrivals};
+use std::net::Ipv4Addr;
+
+const SEED: u64 = 42;
+const RESOLUTIONS: u16 = 20;
+/// Attribution id for persistent-connection setup (ids 1..=N are queries).
+const CONN_ATTR: u32 = 0;
+
+fn link() -> LinkConfig {
+    LinkConfig::with_rtt(SimDuration::from_millis(14)).bandwidth_mbps(50)
+}
+
+fn tls_config() -> TlsConfig {
+    TlsConfig::for_server("dns.example.net").alpn("dot")
+}
+
+/// Advances the simulation to the next Poisson arrival, dispatching
+/// leftover wakes (ACKs, FIN teardown) to both endpoints on the way.
+fn advance_to_arrival(sim: &mut Sim, a: &mut dyn Endpoint, b: &mut dyn Endpoint, at: SimTime) {
+    let token = u64::MAX;
+    sim.schedule_app(at, token);
+    while let Some(wake) = sim.next_wake() {
+        if matches!(wake, Wake::AppTimer { token: t, .. } if t == token) {
+            return;
+        }
+        a.on_wake(sim, &wake);
+        b.on_wake(sim, &wake);
+    }
+}
+
+/// One scenario: a fresh simulator, the same seeded workload, N sequential
+/// resolutions. Returns the meter and the wall-clock the run took.
+fn run<C, S>(
+    make: impl FnOnce(&mut Sim) -> (C, S),
+    mut resolve: impl FnMut(&mut Sim, &mut C, &mut S, &Name, u16),
+) -> CostMeter
+where
+    C: Endpoint,
+    S: Endpoint,
+{
+    let mut sim = Sim::new(SEED);
+    let (mut client, mut server) = make(&mut sim);
+    let mut arrivals = PoissonArrivals::new(sim.split_rng(1), SimDuration::from_millis(50));
+    let mut names = NameGen::new(sim.split_rng(2), 8, &Name::parse("dohmark.test").unwrap());
+    let mut at = SimTime::ZERO;
+    for id in 1..=RESOLUTIONS {
+        at += arrivals.next_gap();
+        advance_to_arrival(&mut sim, &mut client, &mut server, at);
+        let name = names.next_name();
+        resolve(&mut sim, &mut client, &mut server, &name, id);
+    }
+    drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+    let mut meter = CostMeter::new();
+    std::mem::swap(&mut meter, &mut sim.meter);
+    meter
+}
+
+/// Mean per-resolution cost over ids 1..=N plus any connection-setup cost
+/// (attr 0), which persistent transports amortise across all resolutions.
+struct Row {
+    label: &'static str,
+    packets: f64,
+    ip: f64,
+    udp: f64,
+    tcp: f64,
+    tls: f64,
+    dns: f64,
+    total: f64,
+}
+
+fn mean_row(label: &'static str, meter: &CostMeter, udp_transport: bool) -> Row {
+    let mut sum = Cost::default();
+    for attr in 0..=u32::from(RESOLUTIONS) {
+        let c = meter.cost(attr);
+        sum.bytes += c.bytes;
+        sum.packets += c.packets;
+        sum.layers.merge(&c.layers);
+    }
+    let n = f64::from(RESOLUTIONS);
+    // The meter tracks IP+transport headers as one layer; every simulated
+    // packet carries a 20-byte IPv4 header, so the split is exact.
+    let ip = sum.packets as f64 * 20.0;
+    let transport = sum.layers.l4_header as f64 - ip;
+    Row {
+        label,
+        packets: sum.packets as f64 / n,
+        ip: ip / n,
+        udp: if udp_transport { transport / n } else { 0.0 },
+        tcp: if udp_transport { 0.0 } else { transport / n },
+        tls: sum.layers.tls as f64 / n,
+        dns: sum.layers.dns as f64 / n,
+        total: sum.bytes as f64 / n,
+    }
+}
+
+fn main() {
+    let tls = tls_config();
+    println!(
+        "cost_comparison: {RESOLUTIONS} resolutions per scenario, seed {SEED}, \
+         Poisson mean 50ms"
+    );
+    println!(
+        "link: 14ms rtt, 50 Mbit/s | TLS 1.3, {} B certificate chain, {} B full handshake",
+        tls.cert_chain.iter().sum::<usize>(),
+        handshake_bytes(&tls),
+    );
+    println!();
+
+    let answer = Ipv4Addr::new(192, 0, 2, 1);
+    let do53 = run(
+        |sim| {
+            let stub = sim.add_host("stub");
+            let resolver = sim.add_host("resolver");
+            sim.add_link(stub, resolver, link());
+            let server = Do53Server::bind(sim, resolver, 53, answer, 300);
+            (Do53Client::new(stub, (resolver, 53)), server)
+        },
+        |sim, client, server, name, id| {
+            client.resolve(sim, server, name, id).expect("do53 resolution completes");
+        },
+    );
+    let dot = |policy: ReusePolicy| {
+        run(
+            |sim| {
+                let stub = sim.add_host("stub");
+                let resolver = sim.add_host("resolver");
+                sim.add_link(stub, resolver, link());
+                let server = DotServer::bind(sim, resolver, 853, tls_config(), answer, 300);
+                (DotClient::new(stub, (resolver, 853), tls_config(), policy, CONN_ATTR), server)
+            },
+            |sim, client: &mut DotClient, server, name, id| {
+                client.resolve(sim, server, name, id).expect("dot resolution completes");
+            },
+        )
+    };
+    let dot_cold = dot(ReusePolicy::Fresh);
+    let dot_persistent = dot(ReusePolicy::Persistent);
+
+    let rows = [
+        mean_row("do53 (udp)", &do53, true),
+        mean_row("dot cold", &dot_cold, false),
+        mean_row("dot persistent", &dot_persistent, false),
+    ];
+
+    println!("mean per-resolution bytes on the wire (both directions):");
+    println!(
+        "{:<16}{:>6}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}",
+        "scenario", "pkts", "ip", "udp", "tcp", "tls", "dns", "total"
+    );
+    for r in &rows {
+        println!(
+            "{:<16}{:>6.1}{:>9.1}{:>9.1}{:>9.1}{:>9.1}{:>9.1}{:>9.1}",
+            r.label, r.packets, r.ip, r.udp, r.tcp, r.tls, r.dns, r.total
+        );
+    }
+    println!();
+    println!(
+        "cold DoT pays the TLS handshake on every resolution ({:.0} B of TLS per query);",
+        rows[1].tls
+    );
+    println!(
+        "persistent DoT amortises it across {RESOLUTIONS} queries ({:.0} B of TLS per query).",
+        rows[2].tls
+    );
+
+    // The qualitative Figure 3 result, enforced so CI notices regressions.
+    assert!(
+        rows[1].total > 4.0 * rows[0].total,
+        "cold DoT ({:.0} B) must dwarf Do53 ({:.0} B)",
+        rows[1].total,
+        rows[0].total
+    );
+    assert!(
+        rows[2].total < rows[1].total / 2.0,
+        "persistent DoT ({:.0} B) must amortise well below cold ({:.0} B)",
+        rows[2].total,
+        rows[1].total
+    );
+    assert_eq!(rows[1].dns, rows[2].dns, "identical workload ⇒ identical DNS payload bytes");
+    println!("ok");
+}

@@ -8,13 +8,18 @@
 //! * [`dns`] — DNS wireformat and `application/dns-json` codecs.
 //! * [`netsim`] — deterministic discrete-event network simulator with
 //!   simulated UDP and TCP and per-layer cost accounting.
-//! * [`tls`] — TLS 1.2/1.3 handshake and record-layer byte model (planned).
+//! * [`tls`] — TLS 1.2/1.3 handshake and record-layer byte model:
+//!   configurable flights (SNI, ALPN, certificate chain, resumption) and
+//!   record framing/deframing.
 //! * [`http`] — HPACK, HTTP/2 framing and HTTP/1.1 codecs (planned).
-//! * [`doh`] — resolvers and servers for UDP DNS, DoT, DoH/HTTP-1.1 and
-//!   DoH/HTTP-2, with per-resolution cost breakdowns (planned).
+//! * [`doh`] — simulated DNS transports: UDP Do53 with ephemeral source
+//!   ports and DoT with fresh/persistent connection reuse, each resolution
+//!   attributed in the cost meter. DoH over HTTP/1.1 and HTTP/2 lands with
+//!   [`http`].
 //! * [`survey`] — the DoH provider landscape survey, paper Tables 1–2
 //!   (planned).
-//! * [`workload`] — Alexa-like site and name workload models (planned).
+//! * [`workload`] — seeded Poisson query arrivals and constant-length
+//!   random query names.
 //! * [`pageload`] — browser model and page-load experiments, Figures 1 and 6
 //!   (planned).
 //!
