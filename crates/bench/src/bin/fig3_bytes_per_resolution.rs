@@ -1,1 +1,27 @@
-fn main() {}
+//! Figure 3: bytes per resolution, per transport, over many seeds.
+//!
+//! Resolves the same Poisson workload through every cell of the
+//! transport matrix (Do53 / DoT / DoH-h1 / DoH-h2 × fresh / resumed /
+//! persistent) for seeds 1..=10 and emits the distribution as one line
+//! of JSON on stdout — parseable with `dohmark::dns::jsontext`:
+//!
+//! ```console
+//! $ cargo run --release --bin fig3_bytes_per_resolution | head -c 120
+//! {"experiment": "fig3_bytes_per_resolution", "resolutions": 20, "rows": [{"cell": "do53", …
+//! ```
+
+use dohmark::doh::TransportConfig;
+use dohmark_bench::{fig3_json, run_matrix_cell, CellRun};
+
+/// Seeds per cell; ≥ 10 so the emitted rows form a distribution.
+const SEEDS: std::ops::RangeInclusive<u64> = 1..=10;
+/// Queries resolved per run.
+const RESOLUTIONS: u16 = 20;
+
+fn main() {
+    let runs: Vec<CellRun> = TransportConfig::matrix()
+        .iter()
+        .flat_map(|cfg| SEEDS.map(|seed| run_matrix_cell(cfg, seed, RESOLUTIONS)))
+        .collect();
+    println!("{}", fig3_json(RESOLUTIONS, &runs));
+}

@@ -1,12 +1,176 @@
-//! Experiment harnesses (under construction).
+//! Experiment harnesses reproducing the paper's figures and tables.
 //!
-//! # Planned design
+//! One binary per figure/table lives under `src/bin/`; the shared
+//! machinery sits here so it can be unit-tested: [`run_matrix_cell`]
+//! resolves a seeded workload through one [`TransportConfig`] cell and
+//! aggregates the per-resolution cost, and [`fig3_json`] serialises a set
+//! of runs as a single-line JSON document (parseable by the in-tree
+//! `dns-wire::jsontext` codec — the workspace has no serde).
 //!
-//! One binary per figure/table of the paper (see `src/bin/`): each harness
-//! builds a simulated topology, runs the relevant scenario matrix over many
-//! seeds, and emits the distribution that the corresponding figure plots
-//! (bytes per resolution, packets per resolution, layer breakdowns,
-//! page-load times). The `benches/` targets are plain-main harnesses kept
-//! buildable without external benchmarking crates.
+//! The `benches/` targets are plain-main harnesses kept buildable without
+//! external benchmarking crates.
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+use dohmark::dns::Name;
+use dohmark::doh::{
+    advance_endpoints_until, build_pair, drain_endpoints, resolve_with, TransportConfig,
+};
+use dohmark::netsim::{Cost, LayerTag, Sim, SimDuration};
+use dohmark::workload::QuerySchedule;
+
+/// RNG stream label the harnesses draw their workload from.
+pub const WORKLOAD_STREAM: u64 = 7;
+
+/// Aggregated result of one (matrix cell × seed) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRun {
+    /// Human-readable cell label (`dot persistent`, …).
+    pub label: String,
+    /// Transport label (`do53` / `dot` / `doh-h1` / `doh-h2`).
+    pub transport: String,
+    /// Reuse mode (`fresh` / `persistent`).
+    pub reuse: String,
+    /// Whether TLS resumption was on.
+    pub resumed: bool,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Mean bytes per resolution, connection setup amortised.
+    pub bytes_per_resolution: f64,
+    /// Mean packets per resolution.
+    pub packets_per_resolution: f64,
+    /// Mean per-layer bytes per resolution, in [`LayerTag::ALL`] order.
+    pub layers: [(LayerTag, f64); 6],
+    /// Mean bytes over resolutions 2..=N only — the steady state of a
+    /// persistent connection, without setup amortisation.
+    pub steady_bytes_per_resolution: f64,
+    /// HTTP header bytes charged to each query id, in order — the HPACK
+    /// dynamic-table shrinkage signal on persistent DoH/2.
+    pub header_bytes_per_query: Vec<u64>,
+}
+
+/// Resolves `resolutions` queries of a seeded Poisson workload through
+/// the cell described by `cfg` and returns the per-resolution means
+/// (attribution 0, the persistent-connection setup, is amortised across
+/// all resolutions — the view the paper's Figure 3 plots).
+pub fn run_matrix_cell(cfg: &TransportConfig, seed: u64, resolutions: u16) -> CellRun {
+    let mut sim = Sim::new(seed);
+    let (mut client, mut server) = build_pair(&mut sim, cfg);
+    let mut rng = sim.split_rng(WORKLOAD_STREAM);
+    let zone = Name::parse("dohmark.test").unwrap();
+    let schedule = QuerySchedule::new(&mut rng, SimDuration::from_millis(50), 8, &zone);
+    for (i, (at, name)) in schedule.take(usize::from(resolutions)).enumerate() {
+        advance_endpoints_until(&mut sim, &mut [client.as_mut(), server.as_mut()], at);
+        let id = i as u16 + 1;
+        resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, id)
+            .unwrap_or_else(|| panic!("{} seed {seed} id {id} did not resolve", cfg.label()));
+    }
+    client.close(&mut sim);
+    drain_endpoints(&mut sim, &mut [client.as_mut(), server.as_mut()]);
+
+    let mut sum = Cost::default();
+    let mut steady_bytes = 0u64;
+    for attr in 0..=u32::from(resolutions) {
+        let c = sim.meter.cost(attr);
+        sum.bytes += c.bytes;
+        sum.packets += c.packets;
+        sum.layers.merge(&c.layers);
+        if attr >= 2 {
+            steady_bytes += c.bytes;
+        }
+    }
+    let n = f64::from(resolutions);
+    CellRun {
+        label: cfg.label(),
+        transport: cfg.kind.label().to_string(),
+        reuse: cfg.reuse.label().to_string(),
+        resumed: cfg.resumption,
+        seed,
+        bytes_per_resolution: sum.bytes as f64 / n,
+        packets_per_resolution: sum.packets as f64 / n,
+        layers: LayerTag::ALL.map(|tag| (tag, sum.layers.get(tag) as f64 / n)),
+        steady_bytes_per_resolution: steady_bytes as f64 / (n - 1.0).max(1.0),
+        header_bytes_per_query: (1..=u32::from(resolutions))
+            .map(|id| sim.meter.cost(id).layers.http_header)
+            .collect(),
+    }
+}
+
+/// Serialises Figure 3 runs as one line of JSON on the shape
+/// `{"experiment": …, "resolutions": …, "rows": [{…}, …]}`.
+pub fn fig3_json(resolutions: u16, runs: &[CellRun]) -> String {
+    let mut out = String::from("{\"experiment\": \"fig3_bytes_per_resolution\", ");
+    out.push_str(&format!("\"resolutions\": {resolutions}, \"rows\": ["));
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"cell\": ");
+        dohmark::dns::jsontext::write_escaped(&mut out, &run.label);
+        out.push_str(&format!(
+            ", \"transport\": \"{}\", \"reuse\": \"{}\", \"resumed\": {}, \"seed\": {}, \
+             \"bytes_per_resolution\": {:.2}, \"packets_per_resolution\": {:.2}, \"layers\": {{",
+            run.transport,
+            run.reuse,
+            run.resumed,
+            run.seed,
+            run.bytes_per_resolution,
+            run.packets_per_resolution
+        ));
+        for (j, (tag, bytes)) in run.layers.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {bytes:.2}", tag.label().to_lowercase()));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohmark::dns::jsontext;
+    use dohmark::doh::{ReusePolicy, TransportKind};
+
+    #[test]
+    fn fig3_json_is_valid_jsontext_with_the_expected_shape() {
+        let cells = [
+            TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh),
+            TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent),
+        ];
+        let runs: Vec<CellRun> =
+            cells.iter().flat_map(|c| (1..=2u64).map(|s| run_matrix_cell(c, s, 3))).collect();
+        let doc = fig3_json(3, &runs);
+        assert!(!doc.contains('\n'), "one line of JSON");
+        let parsed = jsontext::parse(&doc).expect("harness output must parse");
+        assert_eq!(
+            parsed.get("experiment").and_then(|v| v.as_str()),
+            Some("fig3_bytes_per_resolution")
+        );
+        assert_eq!(parsed.get("resolutions").and_then(|v| v.as_u64()), Some(3));
+        let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
+        assert_eq!(rows.len(), 4);
+        let row = &rows[3];
+        assert_eq!(row.get("transport").and_then(|v| v.as_str()), Some("doh-h2"));
+        assert_eq!(row.get("reuse").and_then(|v| v.as_str()), Some("persistent"));
+        assert_eq!(row.get("seed").and_then(|v| v.as_u64()), Some(2));
+        let layers = row.get("layers").expect("layers object");
+        for key in ["body", "hdr", "mgmt", "tls", "tcp", "dns"] {
+            assert!(layers.get(key).is_some(), "missing layer {key}");
+        }
+    }
+
+    #[test]
+    fn runs_replay_bit_for_bit_per_seed() {
+        let cfg = TransportConfig::new(TransportKind::Dot, ReusePolicy::Persistent);
+        assert_eq!(run_matrix_cell(&cfg, 9, 4), run_matrix_cell(&cfg, 9, 4));
+        assert_ne!(
+            run_matrix_cell(&cfg, 9, 4).bytes_per_resolution,
+            run_matrix_cell(&cfg, 10, 4).bytes_per_resolution
+        );
+    }
+}

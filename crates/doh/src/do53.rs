@@ -8,7 +8,7 @@
 //! [`LayerTag::DnsPayload`](dohmark_netsim::LayerTag) and attributed to the
 //! DNS transaction id.
 
-use crate::{Endpoint, QueryClient};
+use crate::{Endpoint, Resolver};
 use dohmark_dns_wire::{Message, Name, RecordType};
 use dohmark_netsim::{HostId, LayerTag, Sim, SockId, Wake};
 use std::net::Ipv4Addr;
@@ -75,7 +75,7 @@ impl Do53Client {
     }
 }
 
-impl QueryClient for Do53Client {
+impl Resolver for Do53Client {
     /// Sends an A query for `name` with transaction (and attribution) id
     /// `id` from a freshly bound ephemeral port.
     fn send_query(&mut self, sim: &mut Sim, name: &Name, id: u16) {
@@ -89,6 +89,13 @@ impl QueryClient for Do53Client {
     fn take_response(&mut self, id: u16) -> Option<Message> {
         let idx = self.responses.iter().position(|m| m.header.id == id)?;
         Some(self.responses.remove(idx))
+    }
+
+    /// Closes the ephemeral sockets of any still-unanswered queries.
+    fn close(&mut self, sim: &mut Sim) {
+        for (_, sock) in self.pending.drain(..) {
+            sim.udp_close(sock);
+        }
     }
 }
 

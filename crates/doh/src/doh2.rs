@@ -1,0 +1,632 @@
+//! DNS over HTTPS on HTTP/2 (RFC 8484 over RFC 9113), with real HPACK.
+//!
+//! Wire shape, inside TLS records over simulated TCP:
+//!
+//! * Connection setup after the TLS handshake: the 24-byte client
+//!   preface, a SETTINGS exchange (both directions plus ACKs) and the
+//!   client's connection WINDOW_UPDATE — all tagged
+//!   [`LayerTag::HttpMgmt`], the paper's "Mgmt" layer that makes a *cold*
+//!   DoH/2 resolution the most expensive cell of the transport matrix.
+//! * Per query: one HEADERS frame (HPACK-compressed `:method: POST`,
+//!   `:path: /dns-query`, `content-type: application/dns-message`, …)
+//!   tagged [`LayerTag::HttpHeader`], and one END_STREAM DATA frame with
+//!   the raw DNS message tagged [`LayerTag::HttpBody`]; the response
+//!   mirrors this with `:status: 200`. Client streams use odd ids 1, 3, 5…
+//! * On a persistent connection the HPACK dynamic table turns the second
+//!   and later queries' header blocks into a handful of index bytes — the
+//!   header-byte shrinkage `examples/transport_shootout.rs` asserts.
+//! * Graceful teardown sends GOAWAY (NO_ERROR) before the FIN, as real
+//!   clients do; fresh connections do this after every response.
+
+use crate::tls_stream::TlsStream;
+use crate::{Endpoint, Resolver, ReusePolicy};
+use dohmark_dns_wire::{Message, Name, RecordType};
+use dohmark_httpsim::h2::{settings, Frame, FrameDecoder, PREFACE};
+use dohmark_httpsim::hpack;
+use dohmark_netsim::{HostId, LayerTag, ListenerId, Side, Sim, TcpHandle, Wake};
+use dohmark_tls_model::TlsConfig;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use crate::doh1::{DNS_MESSAGE, DOH_PATH};
+
+/// SETTINGS a browser-like DoH client announces.
+const CLIENT_SETTINGS: [(u16, u32); 4] = [
+    (settings::HEADER_TABLE_SIZE, hpack::DEFAULT_TABLE_SIZE as u32),
+    (settings::ENABLE_PUSH, 0),
+    (settings::INITIAL_WINDOW_SIZE, 131_072),
+    (settings::MAX_FRAME_SIZE, 16_384),
+];
+
+/// The connection-window increment the client grants up front.
+const CLIENT_WINDOW_BUMP: u32 = 12_517_377;
+
+/// SETTINGS a resolver-like server announces.
+const SERVER_SETTINGS: [(u16, u32); 3] = [
+    (settings::HEADER_TABLE_SIZE, hpack::DEFAULT_TABLE_SIZE as u32),
+    (settings::MAX_CONCURRENT_STREAMS, 100),
+    (settings::INITIAL_WINDOW_SIZE, 65_535),
+];
+
+fn owned(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs.iter().map(|&(n, v)| (n.to_string(), v.to_string())).collect()
+}
+
+/// One end's HTTP/2 state over an established TLS stream.
+#[derive(Debug)]
+struct H2Conn {
+    tls: TlsStream,
+    frames: FrameDecoder,
+    /// HPACK for header blocks this end sends.
+    encoder: hpack::Encoder,
+    /// HPACK for header blocks this end receives.
+    decoder: hpack::Decoder,
+    /// Reassembled DATA payloads per stream.
+    bodies: HashMap<u32, Vec<u8>>,
+    /// Streams whose HEADERS carried a non-200 `:status`; their DATA is
+    /// not a DNS answer (mirrors the h1 client's status check).
+    failed_streams: HashSet<u32>,
+    /// Whether the h2 layer has started (preface/SETTINGS sent).
+    started: bool,
+    /// Highest peer stream id seen (for GOAWAY).
+    last_peer_stream: u32,
+}
+
+impl H2Conn {
+    fn new(tls: TlsStream) -> H2Conn {
+        H2Conn {
+            tls,
+            frames: FrameDecoder::new(),
+            encoder: hpack::Encoder::new(),
+            decoder: hpack::Decoder::new(),
+            bodies: HashMap::new(),
+            failed_streams: HashSet::new(),
+            started: false,
+            last_peer_stream: 0,
+        }
+    }
+
+    /// Sends management frames (plus the preface when `preface` is set)
+    /// as one tagged write under the connection's setup attribution.
+    fn send_mgmt(&mut self, sim: &mut Sim, preface: bool, frames: &[Frame]) {
+        let mut bytes = Vec::new();
+        if preface {
+            bytes.extend_from_slice(PREFACE);
+        }
+        for frame in frames {
+            bytes.extend_from_slice(&frame.encode());
+        }
+        let attr = self.tls.setup_attr;
+        self.tls.send_segments(sim, attr, &[(LayerTag::HttpMgmt, &bytes)]);
+    }
+
+    /// Sends one request/response: a HEADERS frame and an END_STREAM DATA
+    /// frame, tagged header/body, under attribution `attr`.
+    fn send_message(
+        &mut self,
+        sim: &mut Sim,
+        stream_id: u32,
+        headers: &[(String, String)],
+        body: Vec<u8>,
+        attr: u32,
+    ) {
+        let block = self.encoder.encode(headers);
+        let headers_frame = Frame::Headers { stream_id, block, end_stream: false }.encode();
+        let data_frame = Frame::Data { stream_id, data: body, end_stream: true }.encode();
+        self.tls.send_segments(
+            sim,
+            attr,
+            &[(LayerTag::HttpHeader, &headers_frame), (LayerTag::HttpBody, &data_frame)],
+        );
+    }
+
+    /// Feeds received plaintext through the frame decoder, answering
+    /// management frames; returns `(stream id, DNS message)` for every
+    /// accepted stream plus the count of **all** completed streams —
+    /// rejected (non-200 / undecodable) ones included, so callers can
+    /// balance their in-flight bookkeeping like the h1 client does.
+    fn ingest(&mut self, sim: &mut Sim, plaintext: &[u8]) -> (Vec<(u32, Message)>, usize) {
+        self.frames.push(plaintext);
+        let mut messages = Vec::new();
+        let mut completed = 0usize;
+        // A malformed frame (`Err`) poisons the connection: stop reading.
+        while let Ok(Some(frame)) = self.frames.next_frame() {
+            match frame {
+                Frame::Settings { ack: false, .. } => {
+                    self.send_mgmt(
+                        sim,
+                        false,
+                        &[Frame::Settings { params: Vec::new(), ack: true }],
+                    );
+                }
+                Frame::Settings { ack: true, .. } => {}
+                Frame::Headers { stream_id, block, .. } => {
+                    self.last_peer_stream = self.last_peer_stream.max(stream_id);
+                    // Decoding also keeps the shared dynamic table in sync.
+                    if let Ok(headers) = self.decoder.decode(&block) {
+                        // A non-200 response is no DNS answer (requests
+                        // carry no `:status` and stay accepted).
+                        let failed =
+                            headers.iter().any(|(name, value)| name == ":status" && value != "200");
+                        if failed {
+                            self.failed_streams.insert(stream_id);
+                        }
+                    }
+                }
+                Frame::Data { stream_id, data, end_stream } => {
+                    self.last_peer_stream = self.last_peer_stream.max(stream_id);
+                    let body = self.bodies.entry(stream_id).or_default();
+                    body.extend_from_slice(&data);
+                    if end_stream {
+                        completed += 1;
+                        let body = self.bodies.remove(&stream_id).unwrap_or_default();
+                        if !self.failed_streams.remove(&stream_id) {
+                            if let Ok(msg) = Message::decode(&body) {
+                                messages.push((stream_id, msg));
+                            }
+                        }
+                    }
+                }
+                Frame::Ping { data, ack: false } => {
+                    self.send_mgmt(sim, false, &[Frame::Ping { data, ack: true }]);
+                }
+                Frame::Ping { ack: true, .. }
+                | Frame::WindowUpdate { .. }
+                | Frame::Goaway { .. }
+                | Frame::RstStream { .. }
+                | Frame::Unknown { .. } => {}
+            }
+        }
+        (messages, completed)
+    }
+}
+
+/// A DoH client speaking HTTP/2 to one resolver.
+#[derive(Debug)]
+pub struct DohH2Client {
+    host: HostId,
+    server: (HostId, u16),
+    authority: String,
+    tls_cfg: TlsConfig,
+    policy: ReusePolicy,
+    conn_attr: u32,
+    conn: Option<H2Conn>,
+    /// Next client-initiated stream id (odd: 1, 3, 5, …).
+    next_stream_id: u32,
+    queued: Vec<(u16, Name)>,
+    /// Queries sent (or queued) whose response has not yet arrived; a
+    /// fresh connection tears down only once this drains.
+    inflight: usize,
+    responses: Vec<Message>,
+}
+
+impl DohH2Client {
+    /// A client on `host` for `server`, usually `(resolver, 443)`. The
+    /// `authority` is the `:authority` pseudo-header (normally the SNI).
+    /// Setup attribution follows the same rules as
+    /// [`DotClient::new`](crate::DotClient::new).
+    pub fn new(
+        host: HostId,
+        server: (HostId, u16),
+        authority: &str,
+        tls_cfg: TlsConfig,
+        policy: ReusePolicy,
+        conn_attr: u32,
+    ) -> DohH2Client {
+        DohH2Client {
+            host,
+            server,
+            authority: authority.to_string(),
+            tls_cfg,
+            policy,
+            conn_attr,
+            conn: None,
+            next_stream_id: 1,
+            queued: Vec::new(),
+            inflight: 0,
+            responses: Vec::new(),
+        }
+    }
+
+    /// Whether the client currently holds an established connection.
+    pub fn is_connected(&self) -> bool {
+        self.conn.as_ref().is_some_and(|c| c.tls.established())
+    }
+
+    fn flush(&mut self, sim: &mut Sim) {
+        let Some(conn) = self.conn.as_mut() else { return };
+        if !conn.tls.established() {
+            return;
+        }
+        if !conn.started {
+            conn.started = true;
+            conn.send_mgmt(
+                sim,
+                true,
+                &[
+                    Frame::Settings { params: CLIENT_SETTINGS.to_vec(), ack: false },
+                    Frame::WindowUpdate { stream_id: 0, increment: CLIENT_WINDOW_BUMP },
+                ],
+            );
+        }
+        for (id, name) in self.queued.drain(..) {
+            let query = Message::query(id, &name, RecordType::A).encode();
+            let headers = owned(&[
+                (":method", "POST"),
+                (":scheme", "https"),
+                (":authority", &self.authority),
+                (":path", DOH_PATH),
+                ("accept", DNS_MESSAGE),
+                ("content-type", DNS_MESSAGE),
+                ("content-length", &query.len().to_string()),
+            ]);
+            let stream_id = self.next_stream_id;
+            self.next_stream_id += 2;
+            conn.send_message(sim, stream_id, &headers, query, u32::from(id));
+        }
+    }
+
+    /// Sends GOAWAY and closes the TCP connection, dropping local state
+    /// and abandoning queries that were still queued for it.
+    fn teardown(&mut self, sim: &mut Sim) {
+        self.queued.clear();
+        self.inflight = 0;
+        let Some(mut conn) = self.conn.take() else { return };
+        if conn.tls.established() && conn.started {
+            let last_stream_id = conn.last_peer_stream;
+            conn.send_mgmt(
+                sim,
+                false,
+                &[Frame::Goaway { last_stream_id, error_code: 0, debug: Vec::new() }],
+            );
+        }
+        sim.tcp_close(conn.tls.handle);
+    }
+
+    /// Sends the query and runs the simulation until its response arrives;
+    /// see [`crate::resolve_with`] for the driving semantics.
+    pub fn resolve(
+        &mut self,
+        sim: &mut Sim,
+        peer: &mut dyn Endpoint,
+        name: &Name,
+        id: u16,
+    ) -> Option<Message> {
+        crate::resolve_with(sim, self, peer, name, id)
+    }
+}
+
+impl Resolver for DohH2Client {
+    fn send_query(&mut self, sim: &mut Sim, name: &Name, id: u16) {
+        let dead = self.conn.as_ref().is_some_and(|c| sim.tcp_has_failed(c.tls.handle));
+        if self.conn.is_none() || dead {
+            let attr = match self.policy {
+                ReusePolicy::Fresh => u32::from(id),
+                ReusePolicy::Persistent => self.conn_attr,
+            };
+            sim.set_attr(attr);
+            let handle = sim.tcp_connect(self.host, self.server);
+            self.conn = Some(H2Conn::new(TlsStream::new(handle, &self.tls_cfg, attr)));
+            self.next_stream_id = 1;
+            // Queries in flight on a dead connection are lost for good.
+            self.inflight = 0;
+        }
+        self.queued.push((id, name.clone()));
+        self.inflight += 1;
+        self.flush(sim);
+    }
+
+    fn take_response(&mut self, id: u16) -> Option<Message> {
+        let idx = self.responses.iter().position(|m| m.header.id == id)?;
+        Some(self.responses.remove(idx))
+    }
+
+    /// Graceful teardown: GOAWAY (NO_ERROR), then the TCP FIN.
+    fn close(&mut self, sim: &mut Sim) {
+        self.teardown(sim);
+    }
+}
+
+impl Endpoint for DohH2Client {
+    fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        let Some(conn) = self.conn.as_mut() else { return };
+        match *wake {
+            Wake::TcpConnected { conn: handle, .. } if handle == conn.tls.handle => {
+                let _ = conn.tls.advance(sim, &[]);
+                self.flush(sim);
+            }
+            Wake::TcpReadable { conn: handle, .. } if handle == conn.tls.handle => {
+                let data = sim.tcp_recv(handle);
+                let was_established = conn.tls.established();
+                let plaintext = conn.tls.advance(sim, &data);
+                let (responses, completed) = conn.ingest(sim, &plaintext);
+                self.inflight = self.inflight.saturating_sub(completed);
+                self.responses.extend(responses.into_iter().map(|(_, msg)| msg));
+                if !was_established && conn.tls.established() {
+                    self.flush(sim);
+                }
+                if completed > 0 && self.inflight == 0 && self.policy == ReusePolicy::Fresh {
+                    // Cold connections are one-shot: GOAWAY + FIN once
+                    // every outstanding answer has arrived.
+                    self.teardown(sim);
+                }
+            }
+            Wake::TcpFin { conn: handle, .. } if handle == conn.tls.handle => {
+                sim.tcp_close(handle);
+                self.conn = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A DoH/2 server answering every well-formed query with one fixed A
+/// record.
+#[derive(Debug)]
+pub struct DohH2Server {
+    listener: ListenerId,
+    tls_cfg: TlsConfig,
+    answer: Ipv4Addr,
+    ttl: u32,
+    conns: HashMap<TcpHandle, H2ServerConn>,
+}
+
+/// Server-side connection: shared h2 state plus preface stripping.
+#[derive(Debug)]
+struct H2ServerConn {
+    h2: H2Conn,
+    /// Client-preface bytes still expected before frames begin.
+    preface_left: usize,
+}
+
+impl DohH2Server {
+    /// Listens on `(host, port)`; answers carry `answer`/`ttl`.
+    pub fn bind(
+        sim: &mut Sim,
+        host: HostId,
+        port: u16,
+        tls_cfg: TlsConfig,
+        answer: Ipv4Addr,
+        ttl: u32,
+    ) -> DohH2Server {
+        let listener = sim.tcp_listen(host, port);
+        DohH2Server { listener, tls_cfg, answer, ttl, conns: HashMap::new() }
+    }
+
+    /// Established-and-open connection count (for tests and reports).
+    pub fn open_connections(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+impl Endpoint for DohH2Server {
+    fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        match *wake {
+            Wake::TcpAccepted { listener, conn: handle, .. } if listener == self.listener => {
+                let attr = sim.attr();
+                self.conns.insert(
+                    handle,
+                    H2ServerConn {
+                        h2: H2Conn::new(TlsStream::new(handle, &self.tls_cfg, attr)),
+                        preface_left: PREFACE.len(),
+                    },
+                );
+            }
+            Wake::TcpReadable { conn: handle, .. } if handle.side == Side::Server => {
+                let Some(conn) = self.conns.get_mut(&handle) else { return };
+                let data = sim.tcp_recv(handle);
+                let plaintext = conn.h2.tls.advance(sim, &data);
+                let skip = conn.preface_left.min(plaintext.len());
+                conn.preface_left -= skip;
+                if !conn.h2.started && conn.preface_left == 0 {
+                    // The preface has arrived: announce our SETTINGS once.
+                    conn.h2.started = true;
+                    conn.h2.send_mgmt(
+                        sim,
+                        false,
+                        &[Frame::Settings { params: SERVER_SETTINGS.to_vec(), ack: false }],
+                    );
+                }
+                let (queries, _) = conn.h2.ingest(sim, &plaintext[skip..]);
+                for (stream_id, query) in queries {
+                    let response = Message::fixed_a_response(&query, self.answer, self.ttl);
+                    let body = response.encode();
+                    let headers = owned(&[
+                        (":status", "200"),
+                        ("content-type", DNS_MESSAGE),
+                        ("content-length", &body.len().to_string()),
+                        ("server", "dohmark"),
+                    ]);
+                    // Respond on the stream the query arrived on.
+                    conn.h2.send_message(
+                        sim,
+                        stream_id,
+                        &headers,
+                        body,
+                        u32::from(query.header.id),
+                    );
+                }
+            }
+            Wake::TcpFin { conn: handle, .. }
+                if handle.side == Side::Server && self.conns.remove(&handle).is_some() =>
+            {
+                sim.tcp_close(handle);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohmark_netsim::LinkConfig;
+    use dohmark_tls_model::{handshake_bytes, ALPN_H2};
+    use std::net::Ipv4Addr;
+
+    fn h2_tls() -> TlsConfig {
+        TlsConfig::for_server("dns.example.net").alpn(ALPN_H2)
+    }
+
+    fn setup(seed: u64, policy: ReusePolicy) -> (Sim, DohH2Client, DohH2Server) {
+        let mut sim = Sim::new(seed);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, LinkConfig::localhost());
+        let server =
+            DohH2Server::bind(&mut sim, resolver, 443, h2_tls(), Ipv4Addr::new(192, 0, 2, 7), 300);
+        let client =
+            DohH2Client::new(stub, (resolver, 443), "dns.example.net", h2_tls(), policy, 0);
+        (sim, client, server)
+    }
+
+    #[test]
+    fn cold_resolution_pays_handshake_mgmt_headers_and_body() {
+        let (mut sim, mut client, mut server) = setup(1, ReusePolicy::Fresh);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        let response = client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+        assert_eq!(response.answers[0].name, name);
+        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        let cost = sim.meter.cost(1);
+        // Preface + SETTINGS both ways + ACKs + WINDOW_UPDATE + GOAWAY.
+        assert!(cost.layers.http_mgmt > 100, "mgmt bytes {}", cost.layers.http_mgmt);
+        // Bodies: the DNS messages plus one 9-byte DATA frame header each.
+        let query_len = Message::query(1, &name, RecordType::A).encode().len() as u64;
+        let resp_len = response.encode().len() as u64;
+        assert_eq!(cost.layers.http_body, query_len + resp_len + 2 * 9);
+        // HPACK-compressed headers beat h1 text but are still present.
+        assert!(cost.layers.http_header > 2 * 9, "header bytes {}", cost.layers.http_header);
+        assert!(cost.layers.tls >= handshake_bytes(&h2_tls()) as u64);
+        assert!(!client.is_connected(), "cold connection must close");
+        assert_eq!(server.open_connections(), 0, "server saw the FIN");
+    }
+
+    #[test]
+    fn persistent_hpack_shrinks_headers_after_the_first_query() {
+        let (mut sim, mut client, mut server) = setup(2, ReusePolicy::Persistent);
+        let name_gen = |i: u64| Name::parse(&format!("abcdefg{i}.dohmark.test")).unwrap();
+        for id in 1..=4u16 {
+            client.resolve(&mut sim, &mut server, &name_gen(u64::from(id)), id).unwrap();
+        }
+        assert!(client.is_connected());
+        sim.drain();
+        let first = sim.meter.cost(1).layers.http_header;
+        let later: Vec<u64> = (2..=4u32).map(|id| sim.meter.cost(id).layers.http_header).collect();
+        // Same-shape queries: every header but none of the values change,
+        // so the dynamic table turns later blocks into pure index bytes.
+        assert!(later.iter().all(|&l| l < first / 2), "first {first} B vs later {later:?} B");
+        assert_eq!(later[0], later[1]);
+        assert_eq!(later[1], later[2]);
+        // Mgmt is connection setup, charged to the connection attribution.
+        assert_eq!(sim.meter.cost(2).layers.http_mgmt, 0);
+        assert!(sim.meter.cost(0).layers.http_mgmt > 100);
+    }
+
+    #[test]
+    fn close_sends_goaway_then_fin() {
+        let (mut sim, mut client, mut server) = setup(3, ReusePolicy::Persistent);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+        let mgmt_before = sim.meter.cost(0).layers.http_mgmt;
+        client.close(&mut sim);
+        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        // GOAWAY: 9-byte frame header + 8-byte payload, plus TLS framing.
+        assert_eq!(sim.meter.cost(0).layers.http_mgmt, mgmt_before + 17);
+        assert!(!client.is_connected());
+        assert_eq!(server.open_connections(), 0);
+    }
+
+    #[test]
+    fn streams_use_odd_ids_and_parallel_queries_resolve() {
+        let (mut sim, mut client, mut server) = setup(4, ReusePolicy::Persistent);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        // Launch three queries back-to-back before any response arrives.
+        for id in 1..=3u16 {
+            client.send_query(&mut sim, &name, id);
+        }
+        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        for id in 1..=3u16 {
+            assert!(client.take_response(id).is_some(), "id {id}");
+        }
+        assert_eq!(client.next_stream_id, 7, "streams 1, 3, 5 were used");
+    }
+
+    #[test]
+    fn non_200_responses_are_not_dns_answers() {
+        // A hand-rolled server that answers every query with :status 500
+        // and a DNS-shaped body; the client must not surface it (the h1
+        // client's explicit status check, mirrored on h2) — but the
+        // rejected response still completes the stream, so a Fresh
+        // connection must tear down rather than linger.
+        let mut sim = Sim::new(21);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, dohmark_netsim::LinkConfig::localhost());
+        let listener = sim.tcp_listen(resolver, 443);
+        let mut client = DohH2Client::new(
+            stub,
+            (resolver, 443),
+            "dns.example.net",
+            h2_tls(),
+            ReusePolicy::Fresh,
+            0,
+        );
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        client.send_query(&mut sim, &name, 1);
+        let mut server_conn: Option<H2Conn> = None;
+        let mut preface_left = PREFACE.len();
+        while let Some(wake) = sim.next_wake() {
+            client.on_wake(&mut sim, &wake);
+            match wake {
+                Wake::TcpAccepted { listener: l, conn: handle, .. } if l == listener => {
+                    let attr = sim.attr();
+                    server_conn = Some(H2Conn::new(TlsStream::new(handle, &h2_tls(), attr)));
+                }
+                Wake::TcpReadable { conn: handle, .. } if handle.side == Side::Server => {
+                    let Some(conn) = server_conn.as_mut() else { continue };
+                    let data = sim.tcp_recv(handle);
+                    let plaintext = conn.tls.advance(&mut sim, &data);
+                    let skip = preface_left.min(plaintext.len());
+                    preface_left -= skip;
+                    let (queries, _) = conn.ingest(&mut sim, &plaintext[skip..]);
+                    for (stream_id, query) in queries {
+                        let body =
+                            Message::fixed_a_response(&query, Ipv4Addr::new(192, 0, 2, 7), 60)
+                                .encode();
+                        let headers = owned(&[
+                            (":status", "500"),
+                            ("content-type", DNS_MESSAGE),
+                            ("content-length", &body.len().to_string()),
+                        ]);
+                        conn.send_message(
+                            &mut sim,
+                            stream_id,
+                            &headers,
+                            body,
+                            u32::from(query.header.id),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(client.take_response(1).is_none(), "a 500 must not count as an answer");
+        // The rejected response still drained the in-flight count: the
+        // fresh connection was torn down, not left open for reuse.
+        assert!(!client.is_connected(), "fresh connection must close after a 500");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_h2_costs() {
+        let run = |seed: u64| {
+            let (mut sim, mut client, mut server) = setup(seed, ReusePolicy::Persistent);
+            let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+            for id in 1..=3u16 {
+                client.resolve(&mut sim, &mut server, &name, id).unwrap();
+            }
+            sim.drain();
+            (sim.meter.total(), sim.now())
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -6,7 +6,7 @@
 //!   retransmissions are all charged).
 //! * The TLS handshake flights of the configured [`TlsConfig`], sent as
 //!   opaque byte bursts tagged [`LayerTag::Tls`].
-//! * Application data framed into TLS records ([`seal`]): the 5-byte
+//! * Application data framed into TLS records: the 5-byte
 //!   record header and
 //!   16-byte AEAD tag are tagged `Tls`, the carried plaintext — the
 //!   RFC 7766 2-byte length prefix plus the DNS message, which the paper
@@ -18,14 +18,15 @@
 //! one long-lived connection ([`ReusePolicy::Persistent`], which amortises
 //! the handshake to near-zero per-resolution overhead).
 
-use crate::{Endpoint, QueryClient};
+use crate::tls_stream::TlsStream;
+use crate::{Endpoint, Resolver};
 use dohmark_dns_wire::{Message, Name, RecordType};
 use dohmark_netsim::{HostId, LayerTag, ListenerId, Side, Sim, TcpHandle, Wake};
-use dohmark_tls_model::{handshake_flights, seal, Deframer, Flight, TlsConfig};
+use dohmark_tls_model::TlsConfig;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-/// Connection-reuse policy of a [`DotClient`].
+/// Connection-reuse policy of a TLS-based client (DoT or DoH).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReusePolicy {
     /// Open a fresh connection per query and close it after the response —
@@ -37,102 +38,62 @@ pub enum ReusePolicy {
     Persistent,
 }
 
-/// Shared per-connection TLS state: handshake progress, then record
-/// deframing and RFC 7766 length-prefix reassembly.
-#[derive(Debug)]
-struct TlsStream {
-    handle: TcpHandle,
-    flights: Vec<Flight>,
-    /// Index of the next flight not yet fully sent/received.
-    next_flight: usize,
-    /// Bytes of the currently awaited inbound flight already received.
-    flight_rx: usize,
-    /// Attribution for handshake bytes this endpoint sends.
-    hs_attr: u32,
-    established: bool,
-    deframer: Deframer,
-    /// Reassembled plaintext: a stream of 2-byte-length-prefixed messages.
-    app_rx: Vec<u8>,
+impl ReusePolicy {
+    /// Short lowercase label (`fresh` / `persistent`) used in cell labels
+    /// and result-table keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReusePolicy::Fresh => "fresh",
+            ReusePolicy::Persistent => "persistent",
+        }
+    }
 }
 
-impl TlsStream {
-    fn new(handle: TcpHandle, cfg: &TlsConfig, hs_attr: u32) -> TlsStream {
-        TlsStream {
-            handle,
-            flights: handshake_flights(cfg),
-            next_flight: 0,
-            flight_rx: 0,
-            hs_attr,
-            established: false,
-            deframer: Deframer::new(),
-            app_rx: Vec::new(),
+/// Extracts complete RFC 7766 2-byte-length-prefixed DNS messages from
+/// the front of `buf`; undecodable payloads are skipped, exactly like a
+/// real resolver drops garbage.
+fn drain_prefixed_messages(buf: &mut Vec<u8>) -> Vec<Message> {
+    let mut messages = Vec::new();
+    while buf.len() >= 2 {
+        let len = usize::from(u16::from_be_bytes([buf[0], buf[1]]));
+        if buf.len() < 2 + len {
+            break;
         }
+        if let Ok(msg) = Message::decode(&buf[2..2 + len]) {
+            messages.push(msg);
+        }
+        buf.drain(..2 + len);
+    }
+    messages
+}
+
+/// A DoT connection: the shared TLS stream plus length-prefix reassembly.
+#[derive(Debug)]
+struct DotConn {
+    tls: TlsStream,
+    rx: Vec<u8>,
+}
+
+impl DotConn {
+    fn new(tls: TlsStream) -> DotConn {
+        DotConn { tls, rx: Vec::new() }
     }
 
-    fn is_client(&self) -> bool {
-        self.handle.side == Side::Client
+    fn advance(&mut self, sim: &mut Sim, incoming: &[u8]) -> Vec<Message> {
+        let plaintext = self.tls.advance(sim, incoming);
+        self.rx.extend_from_slice(&plaintext);
+        drain_prefixed_messages(&mut self.rx)
     }
 
-    /// Drives the handshake with `incoming` stream bytes (possibly empty),
-    /// sending our flights when it is our turn; surplus bytes after
-    /// establishment flow into the record deframer. Returns complete
-    /// length-prefixed DNS messages.
-    fn advance(&mut self, sim: &mut Sim, mut incoming: &[u8]) -> Vec<Message> {
-        while !self.established {
-            let Some(flight) = self.flights.get(self.next_flight) else {
-                self.established = true;
-                break;
-            };
-            if flight.from_client == self.is_client() {
-                // Our turn: emit the flight as opaque handshake bytes.
-                sim.set_attr(self.hs_attr);
-                sim.tcp_send(self.handle, LayerTag::Tls, &vec![0u8; flight.bytes]);
-                self.next_flight += 1;
-            } else {
-                let need = flight.bytes - self.flight_rx;
-                let take = need.min(incoming.len());
-                self.flight_rx += take;
-                incoming = &incoming[take..];
-                if self.flight_rx == flight.bytes {
-                    self.flight_rx = 0;
-                    self.next_flight += 1;
-                } else {
-                    return Vec::new(); // need more bytes
-                }
-            }
-        }
-        self.deframer.push(incoming);
-        while let Some(plaintext) = self.deframer.next_plaintext() {
-            self.app_rx.extend_from_slice(&plaintext);
-        }
-        let mut messages = Vec::new();
-        while self.app_rx.len() >= 2 {
-            let len = usize::from(u16::from_be_bytes([self.app_rx[0], self.app_rx[1]]));
-            if self.app_rx.len() < 2 + len {
-                break;
-            }
-            if let Ok(msg) = Message::decode(&self.app_rx[2..2 + len]) {
-                messages.push(msg);
-            }
-            self.app_rx.drain(..2 + len);
-        }
-        messages
-    }
-
-    /// Seals `message` into TLS records on the stream, attributing the
-    /// record framing to `Tls` and the length-prefixed DNS bytes to
-    /// `DnsPayload`, all under attribution `attr`.
+    /// Seals `message` (with its 2-byte length prefix) into TLS records,
+    /// attributing the record framing to `Tls` and the prefixed DNS bytes
+    /// to `DnsPayload`, all under attribution `attr`.
     fn send_message(&mut self, sim: &mut Sim, message: &Message, attr: u32) {
         let wire = message.encode();
         let mut plaintext = Vec::with_capacity(2 + wire.len());
         plaintext.extend_from_slice(&(wire.len() as u16).to_be_bytes());
         plaintext.extend_from_slice(&wire);
-        sim.set_attr(attr);
-        for record in seal(&plaintext) {
-            sim.tcp_send(self.handle, LayerTag::Tls, &record.header);
-            sim.tcp_send(self.handle, LayerTag::DnsPayload, &record.plaintext);
-            sim.tcp_send(self.handle, LayerTag::Tls, &record.tag);
-        }
+        self.tls.send_segments(sim, attr, &[(LayerTag::DnsPayload, &plaintext)]);
     }
 }
 
@@ -146,9 +107,13 @@ pub struct DotClient {
     /// Attribution for connection setup under [`ReusePolicy::Persistent`];
     /// fresh connections charge setup to the resolution that opened them.
     conn_attr: u32,
-    conn: Option<TlsStream>,
+    conn: Option<DotConn>,
     /// Queries accepted before the connection established.
     queued: Vec<(u16, Name)>,
+    /// Queries sent (or queued) whose response has not yet arrived; a
+    /// fresh connection closes only once this drains, so pipelining
+    /// several queries onto one cold connection loses none of them.
+    inflight: usize,
     responses: Vec<Message>,
 }
 
@@ -173,13 +138,14 @@ impl DotClient {
             conn_attr,
             conn: None,
             queued: Vec::new(),
+            inflight: 0,
             responses: Vec::new(),
         }
     }
 
     fn flush(&mut self, sim: &mut Sim) {
         let Some(conn) = self.conn.as_mut() else { return };
-        if !conn.established {
+        if !conn.tls.established() {
             return;
         }
         for (id, name) in self.queued.drain(..) {
@@ -190,7 +156,7 @@ impl DotClient {
 
     /// Whether the client currently holds an established connection.
     pub fn is_connected(&self) -> bool {
-        self.conn.as_ref().is_some_and(|c| c.established)
+        self.conn.as_ref().is_some_and(|c| c.tls.established())
     }
 
     /// Sends the query and runs the simulation until its response arrives;
@@ -206,12 +172,12 @@ impl DotClient {
     }
 }
 
-impl QueryClient for DotClient {
+impl Resolver for DotClient {
     /// Queues an A query for `name` with transaction id `id`, opening a
     /// connection if none is usable. The query is transmitted as soon as
     /// the TLS handshake completes (immediately, when already established).
     fn send_query(&mut self, sim: &mut Sim, name: &Name, id: u16) {
-        let dead = self.conn.as_ref().is_some_and(|c| sim.tcp_has_failed(c.handle));
+        let dead = self.conn.as_ref().is_some_and(|c| sim.tcp_has_failed(c.tls.handle));
         if self.conn.is_none() || dead {
             let attr = match self.policy {
                 ReusePolicy::Fresh => u32::from(id),
@@ -219,9 +185,13 @@ impl QueryClient for DotClient {
             };
             sim.set_attr(attr);
             let handle = sim.tcp_connect(self.host, self.server);
-            self.conn = Some(TlsStream::new(handle, &self.tls_cfg, attr));
+            self.conn = Some(DotConn::new(TlsStream::new(handle, &self.tls_cfg, attr)));
+            // Queries in flight on a dead connection are lost for good
+            // (no application retries are modelled).
+            self.inflight = 0;
         }
         self.queued.push((id, name.clone()));
+        self.inflight += 1;
         self.flush(sim);
     }
 
@@ -229,33 +199,44 @@ impl QueryClient for DotClient {
         let idx = self.responses.iter().position(|m| m.header.id == id)?;
         Some(self.responses.remove(idx))
     }
+
+    /// Closes the current connection, if any (TCP FIN), abandoning
+    /// queries that were still queued for it.
+    fn close(&mut self, sim: &mut Sim) {
+        self.queued.clear();
+        self.inflight = 0;
+        if let Some(conn) = self.conn.take() {
+            sim.tcp_close(conn.tls.handle);
+        }
+    }
 }
 
 impl Endpoint for DotClient {
     fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
         let Some(conn) = self.conn.as_mut() else { return };
         match *wake {
-            Wake::TcpConnected { conn: handle, .. } if handle == conn.handle => {
+            Wake::TcpConnected { conn: handle, .. } if handle == conn.tls.handle => {
                 // TCP is up: kick off the TLS handshake (ClientHello).
                 let _ = conn.advance(sim, &[]);
                 self.flush(sim);
             }
-            Wake::TcpReadable { conn: handle, .. } if handle == conn.handle => {
+            Wake::TcpReadable { conn: handle, .. } if handle == conn.tls.handle => {
                 let data = sim.tcp_recv(handle);
-                let was_established = conn.established;
+                let was_established = conn.tls.established();
                 let responses = conn.advance(sim, &data);
-                let got_response = !responses.is_empty();
+                self.inflight = self.inflight.saturating_sub(responses.len());
                 self.responses.extend(responses);
-                if !was_established && conn.established {
+                if !was_established && conn.tls.established() {
                     self.flush(sim);
                 }
-                if got_response && self.policy == ReusePolicy::Fresh {
-                    // Cold connections are one-shot: close after the answer.
-                    let handle = self.conn.take().expect("conn is live").handle;
+                if self.inflight == 0 && self.policy == ReusePolicy::Fresh {
+                    // Cold connections are one-shot: close once every
+                    // outstanding answer has arrived.
+                    let handle = self.conn.take().expect("conn is live").tls.handle;
                     sim.tcp_close(handle);
                 }
             }
-            Wake::TcpFin { conn: handle, .. } if handle == conn.handle => {
+            Wake::TcpFin { conn: handle, .. } if handle == conn.tls.handle => {
                 // Server closed on us; drop the connection state so the
                 // next query reconnects.
                 sim.tcp_close(handle);
@@ -273,7 +254,7 @@ pub struct DotServer {
     tls_cfg: TlsConfig,
     answer: Ipv4Addr,
     ttl: u32,
-    conns: HashMap<TcpHandle, TlsStream>,
+    conns: HashMap<TcpHandle, DotConn>,
 }
 
 impl DotServer {
@@ -305,7 +286,8 @@ impl Endpoint for DotServer {
                 // Setup bytes we send are charged to whatever attribution
                 // the connecting client's setup used (current attr).
                 let attr = sim.attr();
-                self.conns.insert(handle, TlsStream::new(handle, &self.tls_cfg, attr));
+                self.conns
+                    .insert(handle, DotConn::new(TlsStream::new(handle, &self.tls_cfg, attr)));
             }
             Wake::TcpReadable { conn: handle, .. } if handle.side == Side::Server => {
                 let Some(conn) = self.conns.get_mut(&handle) else { return };
@@ -397,6 +379,49 @@ mod tests {
         for id in 1..=5u32 {
             assert_eq!(sim.meter.cost(id).layers.tls, 2 * 21, "id {id}");
         }
+    }
+
+    #[test]
+    fn fresh_connection_serves_all_pipelined_queries_before_closing() {
+        let (mut sim, mut client, mut server) = setup(12, ReusePolicy::Fresh);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        // Two queries launched back-to-back share the cold connection; it
+        // must not close after the first answer and strand the second.
+        client.send_query(&mut sim, &name, 1);
+        client.send_query(&mut sim, &name, 2);
+        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        assert!(client.take_response(1).is_some());
+        assert!(client.take_response(2).is_some());
+        assert!(!client.is_connected(), "cold connection closes once drained");
+        assert_eq!(server.open_connections(), 0);
+    }
+
+    #[test]
+    fn close_abandons_queued_queries() {
+        let (mut sim, mut client, mut server) = setup(13, ReusePolicy::Persistent);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        // Query 1 is still queued (handshake pending) when the client
+        // closes; it must not be retransmitted on the next connection.
+        client.send_query(&mut sim, &name, 1);
+        client.close(&mut sim);
+        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        assert!(client.take_response(1).is_none());
+        let response = client.resolve(&mut sim, &mut server, &name, 2);
+        assert!(response.is_some(), "a fresh query after close must work");
+        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        assert!(client.take_response(1).is_none(), "stale query 1 must stay abandoned");
+    }
+
+    #[test]
+    fn explicit_close_tears_the_connection_down() {
+        let (mut sim, mut client, mut server) = setup(6, ReusePolicy::Persistent);
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        client.resolve(&mut sim, &mut server, &name, 1).unwrap();
+        assert!(client.is_connected());
+        client.close(&mut sim);
+        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        assert!(!client.is_connected());
+        assert_eq!(server.open_connections(), 0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Simulated DNS transports: UDP Do53 and DoT clients/servers with
-//! per-resolution cost attribution.
+//! Simulated DNS transports — Do53, DoT and DoH over HTTP/1.1 and
+//! HTTP/2 — with per-resolution cost attribution.
 //!
 //! This crate drives `dohmark-netsim` with protocol-faithful DNS message
 //! exchanges — every byte the [`CostMeter`](dohmark_netsim::CostMeter)
@@ -12,10 +12,37 @@
 //! * [`dot`] — DNS over TLS (RFC 7858): messages carry the RFC 7766
 //!   2-byte length prefix and travel inside TLS application-data records
 //!   over simulated TCP, with handshake bytes taken from the
-//!   `dohmark-tls-model` flight model. The [`ReusePolicy`] axis — fresh
-//!   connection per query vs. one persistent connection —
-//!   reproduces the paper's key cost contrast: the TLS handshake dominates
-//!   until amortised over many resolutions.
+//!   `dohmark-tls-model` flight model.
+//! * [`doh1`] — DNS over HTTPS on HTTP/1.1: `POST /dns-query` request
+//!   text and `200 OK` response text from `dohmark-httpsim::h1`, header
+//!   bytes tagged `HttpHeader` and bodies `HttpBody`.
+//! * [`doh2`] — DNS over HTTPS on HTTP/2: connection preface, SETTINGS /
+//!   WINDOW_UPDATE / GOAWAY management frames (tagged `HttpMgmt`), and
+//!   per-query HEADERS + DATA frames with real HPACK header compression —
+//!   on a persistent connection the dynamic table shrinks header bytes
+//!   after the first query, exactly the effect the paper measures.
+//!
+//! # The unified transport API
+//!
+//! Every client implements [`Resolver`] and every server [`Endpoint`], so
+//! experiments iterate over [`TransportConfig`]s instead of naming
+//! concrete types: [`build_pair`] turns a config — transport kind ×
+//! [`ReusePolicy`] × TLS resumption — into a boxed client/server pair on a
+//! fresh two-host topology. The concrete types remain available for
+//! custom topologies.
+//!
+//! ```
+//! use dohmark_dns_wire::Name;
+//! use dohmark_doh::{build_pair, resolve_with, ReusePolicy, TransportConfig, TransportKind};
+//! use dohmark_netsim::Sim;
+//!
+//! let mut sim = Sim::new(42);
+//! let cfg = TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent);
+//! let (mut client, mut server) = build_pair(&mut sim, &cfg);
+//! let name = Name::parse("example.com").unwrap();
+//! let response = resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, 1).unwrap();
+//! assert_eq!(response.answers.len(), 1);
+//! ```
 //!
 //! # Attribution
 //!
@@ -24,44 +51,28 @@
 //! [`Sim::set_attr`](dohmark_netsim::Sim::set_attr) before writing query
 //! bytes and servers set it from the decoded query id before answering, so
 //! the meter splits cost per resolution. Connection setup (TCP handshake +
-//! TLS flights) is charged to the id current when the connection was
-//! opened: the resolution's own id for fresh connections, a caller-chosen
-//! connection id for persistent ones.
-//!
-//! # Driving the simulation
-//!
-//! Endpoints implement [`Endpoint`] and react to simulator
-//! [`Wake`]s. The blocking `resolve` helpers on the
-//! clients run the wake loop internally, dispatching every wake to both
-//! ends, and return when the matching response arrives:
-//!
-//! ```
-//! use dohmark_dns_wire::Name;
-//! use dohmark_doh::do53::{Do53Client, Do53Server};
-//! use dohmark_netsim::{LinkConfig, Sim};
-//!
-//! let mut sim = Sim::new(42);
-//! let stub = sim.add_host("stub");
-//! let resolver = sim.add_host("resolver");
-//! sim.add_link(stub, resolver, LinkConfig::localhost());
-//! let mut server = Do53Server::bind(&mut sim, resolver, 53, [192, 0, 2, 1].into(), 300);
-//! let mut client = Do53Client::new(stub, (resolver, 53));
-//! let name = Name::parse("example.com").unwrap();
-//! let response = client.resolve(&mut sim, &mut server, &name, 1).unwrap();
-//! assert_eq!(response.answers.len(), 1);
-//! ```
+//! TLS flights + HTTP/2 preface and SETTINGS) is charged to the id current
+//! when the connection was opened: the resolution's own id for fresh
+//! connections, a caller-chosen connection id for persistent ones.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod do53;
+pub mod doh1;
+pub mod doh2;
 pub mod dot;
+mod tls_stream;
+mod transport;
 
 pub use do53::{Do53Client, Do53Server};
+pub use doh1::{DohH1Client, DohH1Server};
+pub use doh2::{DohH2Client, DohH2Server};
 pub use dot::{DotClient, DotServer, ReusePolicy};
+pub use transport::{build_pair, build_pair_on, TransportConfig, TransportKind};
 
 use dohmark_dns_wire::{Message, Name};
-use dohmark_netsim::{Sim, Wake};
+use dohmark_netsim::{Sim, SimTime, Wake};
 
 /// A simulation participant that reacts to application-visible wakes.
 ///
@@ -73,29 +84,56 @@ pub trait Endpoint {
     fn on_wake(&mut self, sim: &mut Sim, wake: &Wake);
 }
 
-/// A transport client that can start a resolution and surface its result —
-/// the hooks [`resolve_with`] drives, shared by every transport (and by the
-/// DoH clients to come).
-pub trait QueryClient: Endpoint {
+/// A transport client that can start a resolution, surface its result and
+/// tear its connections down — the unified client API every transport
+/// (Do53, DoT, DoH-h1, DoH-h2) implements and [`resolve_with`] drives.
+pub trait Resolver: Endpoint {
     /// Starts an A-record resolution for `name` with transaction (and
     /// attribution) id `id`.
     fn send_query(&mut self, sim: &mut Sim, name: &Name, id: u16);
 
     /// Removes and returns the response to transaction `id`, if received.
     fn take_response(&mut self, id: u16) -> Option<Message>;
+
+    /// Initiates a graceful teardown of any open transport state (TCP
+    /// FIN, HTTP/2 GOAWAY); in-flight wakes still need to be drained with
+    /// [`drain_endpoints`] afterwards. Default: nothing to tear down.
+    fn close(&mut self, sim: &mut Sim) {
+        let _ = sim;
+    }
 }
+
+/// The pre-redesign name of [`Resolver`], kept as an alias so existing
+/// `use dohmark_doh::QueryClient` imports keep compiling.
+pub use Resolver as QueryClient;
 
 /// Sends one query and runs the simulation until its response arrives,
 /// dispatching every wake to both the client and `peer`.
 ///
 /// Returns `None` if the simulation runs dry first (e.g. an unanswered
 /// datagram on a lossy link — the clients model no application retries).
-/// Wakes not consumed by either endpoint (such as unrelated app timers)
-/// are discarded.
+/// Wakes not consumed by either endpoint are discarded; use
+/// [`resolve_with_extras`] when other endpoints (old connections, other
+/// sessions) still need their teardown wakes.
 pub fn resolve_with(
     sim: &mut Sim,
-    client: &mut (impl QueryClient + ?Sized),
+    client: &mut (impl Resolver + ?Sized),
     peer: &mut dyn Endpoint,
+    name: &Name,
+    id: u16,
+) -> Option<Message> {
+    resolve_with_extras(sim, client, peer, &mut [], name, id)
+}
+
+/// [`resolve_with`], additionally routing every wake to the `extras`
+/// endpoints, so a multi-connection session (several DoH clients sharing
+/// one simulator, an old connection draining its FIN) cannot lose
+/// teardown wakes while one resolution is being driven.
+pub fn resolve_with_extras(
+    sim: &mut Sim,
+    client: &mut (impl Resolver + ?Sized),
+    peer: &mut dyn Endpoint,
+    extras: &mut [&mut dyn Endpoint],
     name: &Name,
     id: u16,
 ) -> Option<Message> {
@@ -107,6 +145,9 @@ pub fn resolve_with(
         let wake = sim.next_wake()?;
         client.on_wake(sim, &wake);
         peer.on_wake(sim, &wake);
+        for endpoint in extras.iter_mut() {
+            endpoint.on_wake(sim, &wake);
+        }
     }
 }
 
@@ -115,6 +156,25 @@ pub fn resolve_with(
 /// traffic (FINs) still reaches the endpoints' state machines.
 pub fn drain_endpoints(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint]) {
     while let Some(wake) = sim.next_wake() {
+        for endpoint in endpoints.iter_mut() {
+            endpoint.on_wake(sim, &wake);
+        }
+    }
+}
+
+/// Token [`advance_endpoints_until`] reserves for its internal timer;
+/// application timers must use other values.
+pub const ADVANCE_TOKEN: u64 = u64::MAX;
+
+/// Advances the simulation to time `at`, dispatching every wake seen on
+/// the way (leftover ACKs, FIN teardown, late responses) to all
+/// `endpoints` — the idle time between two workload arrivals.
+pub fn advance_endpoints_until(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint], at: SimTime) {
+    sim.schedule_app(at, ADVANCE_TOKEN);
+    while let Some(wake) = sim.next_wake() {
+        if matches!(wake, Wake::AppTimer { token, .. } if token == ADVANCE_TOKEN) {
+            return;
+        }
         for endpoint in endpoints.iter_mut() {
             endpoint.on_wake(sim, &wake);
         }

@@ -1,0 +1,121 @@
+//! Shared per-connection TLS state machine used by every TLS-based
+//! transport (DoT, DoH/1.1, DoH/2): drives the `dohmark-tls-model`
+//! handshake flights over a simulated TCP connection, then frames and
+//! deframes application data as TLS records.
+
+use dohmark_netsim::{LayerTag, Side, Sim, TcpHandle};
+use dohmark_tls_model::{handshake_flights, seal, Deframer, Flight, TlsConfig};
+
+/// One endpoint's view of a TLS connection: handshake progress, then
+/// record sealing/deframing.
+#[derive(Debug)]
+pub(crate) struct TlsStream {
+    pub(crate) handle: TcpHandle,
+    flights: Vec<Flight>,
+    /// Index of the next flight not yet fully sent/received.
+    next_flight: usize,
+    /// Bytes of the currently awaited inbound flight already received.
+    flight_rx: usize,
+    /// Attribution for connection setup bytes this endpoint sends.
+    pub(crate) setup_attr: u32,
+    established: bool,
+    deframer: Deframer,
+}
+
+impl TlsStream {
+    pub(crate) fn new(handle: TcpHandle, cfg: &TlsConfig, setup_attr: u32) -> TlsStream {
+        TlsStream {
+            handle,
+            flights: handshake_flights(cfg),
+            next_flight: 0,
+            flight_rx: 0,
+            setup_attr,
+            established: false,
+            deframer: Deframer::new(),
+        }
+    }
+
+    fn is_client(&self) -> bool {
+        self.handle.side == Side::Client
+    }
+
+    /// Whether the handshake has completed.
+    pub(crate) fn established(&self) -> bool {
+        self.established
+    }
+
+    /// Drives the handshake with `incoming` stream bytes (possibly empty),
+    /// sending our flights when it is our turn; surplus bytes after
+    /// establishment flow through the record deframer. Returns the
+    /// deframed application plaintext, in order.
+    pub(crate) fn advance(&mut self, sim: &mut Sim, mut incoming: &[u8]) -> Vec<u8> {
+        while !self.established {
+            let Some(flight) = self.flights.get(self.next_flight) else {
+                self.established = true;
+                break;
+            };
+            if flight.from_client == self.is_client() {
+                // Our turn: emit the flight as opaque handshake bytes.
+                sim.set_attr(self.setup_attr);
+                sim.tcp_send(self.handle, LayerTag::Tls, &vec![0u8; flight.bytes]);
+                self.next_flight += 1;
+            } else {
+                let need = flight.bytes - self.flight_rx;
+                let take = need.min(incoming.len());
+                self.flight_rx += take;
+                incoming = &incoming[take..];
+                if self.flight_rx == flight.bytes {
+                    self.flight_rx = 0;
+                    self.next_flight += 1;
+                } else {
+                    return Vec::new(); // need more bytes
+                }
+            }
+        }
+        self.deframer.push(incoming);
+        let mut plaintext = Vec::new();
+        while let Some(p) = self.deframer.next_plaintext() {
+            plaintext.extend_from_slice(&p);
+        }
+        plaintext
+    }
+
+    /// Seals the concatenation of `segments` into TLS records and queues
+    /// them as one vectored write under attribution `attr`: the record
+    /// header and AEAD tag are charged to [`LayerTag::Tls`], each
+    /// segment's bytes to its own tag — which is how the cost meter can
+    /// split a DoH message into header, body and TLS framing layers.
+    pub(crate) fn send_segments(
+        &mut self,
+        sim: &mut Sim,
+        attr: u32,
+        segments: &[(LayerTag, &[u8])],
+    ) {
+        let total: Vec<u8> = segments.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+        if total.is_empty() {
+            return;
+        }
+        sim.set_attr(attr);
+        let mut parts: Vec<(LayerTag, &[u8])> = Vec::new();
+        let mut offset = 0usize;
+        let records = seal(&total);
+        for record in &records {
+            let end = offset + record.plaintext.len();
+            parts.push((LayerTag::Tls, &record.header));
+            // The slices of `segments` that fall inside this record.
+            let mut seg_start = 0usize;
+            for (tag, bytes) in segments {
+                let seg_end = seg_start + bytes.len();
+                if seg_end > offset && seg_start < end {
+                    let from = offset.max(seg_start) - seg_start;
+                    let to = end.min(seg_end) - seg_start;
+                    parts.push((*tag, &bytes[from..to]));
+                }
+                seg_start = seg_end;
+            }
+            parts.push((LayerTag::Tls, &record.tag));
+            offset = end;
+        }
+        sim.tcp_send_vectored(self.handle, &parts);
+    }
+}

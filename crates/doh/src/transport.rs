@@ -1,0 +1,289 @@
+//! The unified transport configuration and factory behind the paper's
+//! transport matrix.
+//!
+//! A [`TransportConfig`] names one cell of the matrix — transport kind ×
+//! [`ReusePolicy`] × TLS resumption — plus the topology parameters every
+//! cell shares (link characteristics, the answer the resolver serves).
+//! [`build_pair`] turns a config into a boxed
+//! [`Resolver`]/[`Endpoint`] pair on a fresh two-host topology, so
+//! experiment harnesses iterate over configs instead of naming concrete
+//! client/server types:
+//!
+//! ```
+//! use dohmark_dns_wire::Name;
+//! use dohmark_doh::{build_pair, resolve_with, TransportConfig};
+//! use dohmark_netsim::Sim;
+//!
+//! for cfg in TransportConfig::matrix() {
+//!     let mut sim = Sim::new(1);
+//!     let (mut client, mut server) = build_pair(&mut sim, &cfg);
+//!     let name = Name::parse("example.com").unwrap();
+//!     let response = resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, 1);
+//!     assert!(response.is_some(), "{} failed", cfg.label());
+//! }
+//! ```
+
+use crate::{
+    Do53Client, Do53Server, DohH1Client, DohH1Server, DohH2Client, DohH2Server, DotClient,
+    DotServer, Endpoint, Resolver, ReusePolicy,
+};
+use dohmark_netsim::{HostId, LinkConfig, Sim, SimDuration};
+use dohmark_tls_model::{TlsConfig, TlsVersion, ALPN_DOT, ALPN_H2, ALPN_HTTP11};
+use std::net::Ipv4Addr;
+
+/// The four transports of the paper's cost matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// Classic DNS over UDP (§3 baseline).
+    Do53,
+    /// DNS over TLS (RFC 7858).
+    Dot,
+    /// DNS over HTTPS on HTTP/1.1.
+    DohH1,
+    /// DNS over HTTPS on HTTP/2.
+    DohH2,
+}
+
+impl TransportKind {
+    /// All kinds, in the paper's cheap-to-expensive presentation order.
+    pub const ALL: [TransportKind; 4] =
+        [TransportKind::Do53, TransportKind::Dot, TransportKind::DohH1, TransportKind::DohH2];
+
+    /// Short lowercase label, e.g. `doh-h2`.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::Do53 => "do53",
+            TransportKind::Dot => "dot",
+            TransportKind::DohH1 => "doh-h1",
+            TransportKind::DohH2 => "doh-h2",
+        }
+    }
+
+    /// The well-known server port (53 / 853 / 443).
+    pub fn port(self) -> u16 {
+        match self {
+            TransportKind::Do53 => 53,
+            TransportKind::Dot => 853,
+            TransportKind::DohH1 | TransportKind::DohH2 => 443,
+        }
+    }
+
+    /// The ALPN protocol the client offers, if the transport runs on TLS.
+    pub fn alpn(self) -> Option<&'static str> {
+        match self {
+            TransportKind::Do53 => None,
+            TransportKind::Dot => Some(ALPN_DOT),
+            TransportKind::DohH1 => Some(ALPN_HTTP11),
+            TransportKind::DohH2 => Some(ALPN_H2),
+        }
+    }
+
+    /// Whether the transport carries TLS (everything but Do53).
+    pub fn uses_tls(self) -> bool {
+        self != TransportKind::Do53
+    }
+}
+
+/// One cell of the transport matrix plus shared topology parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportConfig {
+    /// Which transport to build.
+    pub kind: TransportKind,
+    /// Fresh connection per query vs. one persistent connection
+    /// (ignored by Do53, where every query is its own datagram exchange).
+    pub reuse: ReusePolicy,
+    /// TLS protocol version for TLS-based transports.
+    pub tls_version: TlsVersion,
+    /// Resume a TLS session instead of a full handshake.
+    pub resumption: bool,
+    /// Server name (SNI and the HTTP `host`/`:authority` value).
+    pub sni: String,
+    /// Link characteristics between stub and resolver.
+    pub link: LinkConfig,
+    /// The A record every query is answered with.
+    pub answer: Ipv4Addr,
+    /// Answer TTL.
+    pub ttl: u32,
+    /// Attribution id for persistent-connection setup bytes; fresh
+    /// connections charge setup to the resolution that opened them.
+    pub conn_attr: u32,
+}
+
+impl TransportConfig {
+    /// A matrix cell with the defaults the examples use: TLS 1.3, no
+    /// resumption, a 14 ms/50 Mbit s⁻¹ link and `dns.example.net`.
+    pub fn new(kind: TransportKind, reuse: ReusePolicy) -> TransportConfig {
+        TransportConfig {
+            kind,
+            reuse,
+            tls_version: TlsVersion::Tls13,
+            resumption: false,
+            sni: "dns.example.net".to_string(),
+            link: LinkConfig::with_rtt(SimDuration::from_millis(14)).bandwidth_mbps(50),
+            answer: Ipv4Addr::new(192, 0, 2, 1),
+            ttl: 300,
+            conn_attr: 0,
+        }
+    }
+
+    /// Enables TLS session resumption (builder style).
+    pub fn resumed(mut self) -> TransportConfig {
+        self.resumption = true;
+        self
+    }
+
+    /// Human-readable cell label, e.g. `doh-h2 persistent resumed`.
+    pub fn label(&self) -> String {
+        if self.kind == TransportKind::Do53 {
+            return self.kind.label().to_string();
+        }
+        let resumed = if self.resumption { " resumed" } else { "" };
+        format!("{} {}{}", self.kind.label(), self.reuse.label(), resumed)
+    }
+
+    /// The TLS configuration this cell implies (`None` for Do53).
+    pub fn tls(&self) -> Option<TlsConfig> {
+        let alpn = self.kind.alpn()?;
+        Some(TlsConfig {
+            version: self.tls_version,
+            resumption: self.resumption,
+            ..TlsConfig::for_server(&self.sni).alpn(alpn)
+        })
+    }
+
+    /// The full matrix the `transport_shootout` example iterates: Do53,
+    /// plus every TLS transport in {fresh, persistent} and, for the fresh
+    /// cells, the TLS-resumption variant — ten cells.
+    pub fn matrix() -> Vec<TransportConfig> {
+        let mut cells = vec![TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh)];
+        for kind in [TransportKind::Dot, TransportKind::DohH1, TransportKind::DohH2] {
+            cells.push(TransportConfig::new(kind, ReusePolicy::Fresh));
+            cells.push(TransportConfig::new(kind, ReusePolicy::Fresh).resumed());
+            cells.push(TransportConfig::new(kind, ReusePolicy::Persistent));
+        }
+        cells
+    }
+}
+
+/// Builds the configured client/server pair on two fresh hosts ("stub",
+/// "resolver") joined by the config's link — one matrix cell ready to
+/// drive with [`crate::resolve_with`].
+pub fn build_pair(sim: &mut Sim, cfg: &TransportConfig) -> (Box<dyn Resolver>, Box<dyn Endpoint>) {
+    let stub = sim.add_host("stub");
+    let resolver = sim.add_host("resolver");
+    sim.add_link(stub, resolver, cfg.link);
+    build_pair_on(sim, stub, resolver, cfg)
+}
+
+/// [`build_pair`] on an existing topology: `stub` and `resolver` must
+/// already be linked. Lets multi-client experiments share one resolver
+/// host.
+pub fn build_pair_on(
+    sim: &mut Sim,
+    stub: HostId,
+    resolver: HostId,
+    cfg: &TransportConfig,
+) -> (Box<dyn Resolver>, Box<dyn Endpoint>) {
+    let port = cfg.kind.port();
+    let server_addr = (resolver, port);
+    match cfg.kind {
+        TransportKind::Do53 => {
+            let server = Do53Server::bind(sim, resolver, port, cfg.answer, cfg.ttl);
+            (Box::new(Do53Client::new(stub, server_addr)), Box::new(server))
+        }
+        TransportKind::Dot => {
+            let tls = cfg.tls().expect("dot uses tls");
+            let server = DotServer::bind(sim, resolver, port, tls.clone(), cfg.answer, cfg.ttl);
+            let client = DotClient::new(stub, server_addr, tls, cfg.reuse, cfg.conn_attr);
+            (Box::new(client), Box::new(server))
+        }
+        TransportKind::DohH1 => {
+            let tls = cfg.tls().expect("doh uses tls");
+            let server = DohH1Server::bind(sim, resolver, port, tls.clone(), cfg.answer, cfg.ttl);
+            let client =
+                DohH1Client::new(stub, server_addr, &cfg.sni, tls, cfg.reuse, cfg.conn_attr);
+            (Box::new(client), Box::new(server))
+        }
+        TransportKind::DohH2 => {
+            let tls = cfg.tls().expect("doh uses tls");
+            let server = DohH2Server::bind(sim, resolver, port, tls.clone(), cfg.answer, cfg.ttl);
+            let client =
+                DohH2Client::new(stub, server_addr, &cfg.sni, tls, cfg.reuse, cfg.conn_attr);
+            (Box::new(client), Box::new(server))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohmark_dns_wire::Name;
+    use dohmark_tls_model::select_alpn;
+
+    #[test]
+    fn matrix_covers_every_kind_and_reuse_mode() {
+        let cells = TransportConfig::matrix();
+        assert_eq!(cells.len(), 10);
+        for kind in TransportKind::ALL {
+            assert!(cells.iter().any(|c| c.kind == kind), "{kind:?} missing");
+        }
+        for kind in [TransportKind::Dot, TransportKind::DohH1, TransportKind::DohH2] {
+            for reuse in [ReusePolicy::Fresh, ReusePolicy::Persistent] {
+                assert!(
+                    cells.iter().any(|c| c.kind == kind && c.reuse == reuse),
+                    "{kind:?}/{reuse:?} missing"
+                );
+            }
+        }
+        // Labels are unique (they key result tables).
+        let mut labels: Vec<String> = cells.iter().map(TransportConfig::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), cells.len());
+    }
+
+    #[test]
+    fn every_matrix_cell_resolves_end_to_end() {
+        for cfg in TransportConfig::matrix() {
+            let mut sim = Sim::new(5);
+            let (mut client, mut server) = build_pair(&mut sim, &cfg);
+            let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+            for id in 1..=2u16 {
+                let response =
+                    crate::resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, id);
+                assert!(response.is_some(), "{} id {id} failed", cfg.label());
+            }
+            client.close(&mut sim);
+            crate::drain_endpoints(&mut sim, &mut [client.as_mut(), server.as_mut()]);
+        }
+    }
+
+    #[test]
+    fn alpn_offers_match_what_a_doh_server_selects() {
+        let h2 = TransportConfig::new(TransportKind::DohH2, ReusePolicy::Fresh);
+        let offers = h2.tls().unwrap().alpn;
+        assert_eq!(select_alpn(&offers, &[ALPN_H2, ALPN_HTTP11]), Some(ALPN_H2));
+        let h1 = TransportConfig::new(TransportKind::DohH1, ReusePolicy::Fresh);
+        let offers = h1.tls().unwrap().alpn;
+        assert_eq!(select_alpn(&offers, &[ALPN_H2, ALPN_HTTP11]), Some(ALPN_HTTP11));
+        assert!(TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh).tls().is_none());
+    }
+
+    #[test]
+    fn resumption_shrinks_fresh_tls_bytes() {
+        let run = |cfg: &TransportConfig| {
+            let mut sim = Sim::new(9);
+            let (mut client, mut server) = build_pair(&mut sim, cfg);
+            let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+            crate::resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, 1).unwrap();
+            crate::drain_endpoints(&mut sim, &mut [client.as_mut(), server.as_mut()]);
+            sim.meter.cost(1).layers.tls
+        };
+        for kind in [TransportKind::Dot, TransportKind::DohH1, TransportKind::DohH2] {
+            let full = run(&TransportConfig::new(kind, ReusePolicy::Fresh));
+            let resumed = run(&TransportConfig::new(kind, ReusePolicy::Fresh).resumed());
+            // Resumption elides the ~2.3 kB certificate chain.
+            assert!(resumed + 2000 < full, "{kind:?}: {resumed} vs {full}");
+        }
+    }
+}

@@ -1,0 +1,764 @@
+//! HPACK header compression (RFC 7541).
+//!
+//! This is a functional encoder/decoder pair, not a byte-count
+//! approximation: header blocks produced by [`Encoder::encode`] decode
+//! back to the original header list with [`Decoder::decode`], across the
+//! full representation space — indexed lookups against the RFC 7541
+//! Appendix A static table, a dynamic table with size-based eviction
+//! (entry size = name + value + 32 octets, §4.1), literal representations
+//! with and without indexing, dynamic-table size updates, and Huffman
+//! string coding.
+//!
+//! HPACK's dynamic table is *the* reason the paper finds persistent DoH
+//! connections amortise header bytes so well: the first request on a
+//! connection pays literal header text, every later request with the same
+//! headers pays one or two index bytes per header. The byte shrinkage
+//! across consecutive queries in `examples/transport_shootout.rs` is this
+//! module at work.
+//!
+//! # Huffman model
+//!
+//! The Huffman code is built canonically from a code-length table
+//! (sorted by length, then symbol — exactly how RFC 7541 Appendix B
+//! assigns its codes), so it is prefix-free by construction. Code lengths
+//! for printable ASCII (0x20–0x7E) match Appendix B exactly, which makes
+//! the canonical codes for that range *identical* to the RFC's; control
+//! and non-ASCII octets — which never occur in the header text this
+//! simulation produces — share a uniform 23-bit code instead of the RFC's
+//! per-symbol 10–30-bit codes. Unfinished trailing bits are padded with
+//! ones and validated on decode, as §5.2 requires.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Default dynamic-table capacity, the SETTINGS_HEADER_TABLE_SIZE initial
+/// value of RFC 7540 §6.5.2.
+pub const DEFAULT_TABLE_SIZE: usize = 4096;
+
+/// Per-entry bookkeeping overhead added to name + value lengths (§4.1).
+pub const ENTRY_OVERHEAD: usize = 32;
+
+/// The RFC 7541 Appendix A static table (1-indexed).
+pub const STATIC_TABLE: [(&str, &str); 61] = [
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+];
+
+/// A decode failure. Real HTTP/2 stacks treat any of these as a
+/// connection-level COMPRESSION_ERROR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HpackError {
+    /// The block ended in the middle of an instruction.
+    Truncated,
+    /// An index pointed past both tables.
+    BadIndex(usize),
+    /// A prefixed integer exceeded the implementation limit.
+    IntegerOverflow,
+    /// Huffman data did not decode to a whole number of symbols, used a
+    /// hole in the code space, or ended with invalid padding.
+    BadHuffman,
+    /// A decoded string was not valid UTF-8 (this implementation stores
+    /// header text as Rust strings).
+    BadUtf8,
+    /// A dynamic-table size update exceeded the configured maximum.
+    TableSizeExceeded,
+}
+
+impl fmt::Display for HpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HpackError::Truncated => write!(f, "header block truncated"),
+            HpackError::BadIndex(i) => write!(f, "index {i} outside both tables"),
+            HpackError::IntegerOverflow => write!(f, "prefixed integer too large"),
+            HpackError::BadHuffman => write!(f, "invalid Huffman data"),
+            HpackError::BadUtf8 => write!(f, "header text is not UTF-8"),
+            HpackError::TableSizeExceeded => write!(f, "size update above the maximum"),
+        }
+    }
+}
+
+impl std::error::Error for HpackError {}
+
+// ---------------------------------------------------------------------
+// Prefixed integers (§5.1)
+// ---------------------------------------------------------------------
+
+/// Encodes `value` with an N-bit prefix, OR-ing the pattern bits of
+/// `first_byte` into the first octet.
+fn encode_int(out: &mut Vec<u8>, first_byte: u8, prefix_bits: u8, mut value: usize) {
+    let max_prefix = (1usize << prefix_bits) - 1;
+    if value < max_prefix {
+        out.push(first_byte | value as u8);
+        return;
+    }
+    out.push(first_byte | max_prefix as u8);
+    value -= max_prefix;
+    while value >= 128 {
+        out.push((value % 128) as u8 | 0x80);
+        value /= 128;
+    }
+    out.push(value as u8);
+}
+
+/// Decodes an N-bit-prefixed integer starting at `*pos`, advancing it.
+fn decode_int(buf: &[u8], pos: &mut usize, prefix_bits: u8) -> Result<usize, HpackError> {
+    let first = *buf.get(*pos).ok_or(HpackError::Truncated)?;
+    *pos += 1;
+    let max_prefix = (1usize << prefix_bits) - 1;
+    let mut value = usize::from(first) & max_prefix;
+    if value < max_prefix {
+        return Ok(value);
+    }
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(HpackError::Truncated)?;
+        *pos += 1;
+        // Cap far above any sane header size but far below overflow.
+        if shift > 28 {
+            return Err(HpackError::IntegerOverflow);
+        }
+        value += usize::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Huffman coding (§5.2, Appendix B code lengths for printable ASCII)
+// ---------------------------------------------------------------------
+
+/// Code length in bits for each symbol 0..=255 (no explicit EOS symbol:
+/// it is never encoded, and padding is validated as all-one bits).
+fn code_lengths() -> [u8; 256] {
+    let mut len = [23u8; 256];
+    // NUL is the one symbol outside printable ASCII with a short RFC code
+    // (13 bits); it sits before '$' in the canonical order, so including
+    // it keeps every code from 13 bits up aligned with Appendix B.
+    len[0] = 13;
+    for (bits, symbols) in [
+        (5, "012aceiost".as_bytes()),
+        (6, b" %-./3456789=A_bdfghlmnpru".as_slice()),
+        (7, b":BCDEFGHIJKLMNOPQRSTUVWYjkqvwxyz".as_slice()),
+        (8, b"&*,;XZ".as_slice()),
+        (10, b"!\"()?".as_slice()),
+        (11, b"'+|".as_slice()),
+        (12, b"#>".as_slice()),
+        (13, b"$@[]~".as_slice()),
+        (14, b"^}".as_slice()),
+        (15, b"<`{".as_slice()),
+        (19, b"\\".as_slice()),
+    ] {
+        for &s in symbols {
+            len[usize::from(s)] = bits;
+        }
+    }
+    len
+}
+
+/// The built Huffman code: per-symbol (code, length) plus a binary decode
+/// trie in a flat node array (`[left, right]`, leaves store `!symbol`).
+struct Huffman {
+    codes: [(u32, u8); 256],
+    trie: Vec<[i32; 2]>,
+}
+
+impl Huffman {
+    fn get() -> &'static Huffman {
+        static TABLE: OnceLock<Huffman> = OnceLock::new();
+        TABLE.get_or_init(Huffman::build)
+    }
+
+    fn build() -> Huffman {
+        let lengths = code_lengths();
+        let mut order: Vec<u16> = (0..256).collect();
+        order.sort_by_key(|&s| (lengths[usize::from(s)], s));
+        let mut codes = [(0u32, 0u8); 256];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &sym in &order {
+            let len = lengths[usize::from(sym)];
+            if prev_len != 0 {
+                code += 1;
+            }
+            code <<= len - prev_len;
+            prev_len = len;
+            debug_assert!(len == 32 || code < (1 << len), "code lengths violate Kraft");
+            codes[usize::from(sym)] = (code, len);
+        }
+        let mut trie: Vec<[i32; 2]> = vec![[0, 0]];
+        for (sym, &(code, len)) in codes.iter().enumerate() {
+            let mut node = 0usize;
+            for i in (0..len).rev() {
+                let bit = ((code >> i) & 1) as usize;
+                if i == 0 {
+                    trie[node][bit] = !(sym as i32);
+                } else {
+                    if trie[node][bit] == 0 {
+                        trie.push([0, 0]);
+                        trie[node][bit] = (trie.len() - 1) as i32;
+                    }
+                    node = trie[node][bit] as usize;
+                }
+            }
+        }
+        Huffman { codes, trie }
+    }
+}
+
+/// Huffman-encodes `input`, padding the final partial octet with one bits.
+pub fn huffman_encode(input: &[u8]) -> Vec<u8> {
+    let table = Huffman::get();
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u64;
+    let mut bits = 0u8;
+    for &byte in input {
+        let (code, len) = table.codes[usize::from(byte)];
+        acc = (acc << len) | u64::from(code);
+        bits += len;
+        while bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    if bits > 0 {
+        // EOS-prefix padding: all ones.
+        out.push(((acc << (8 - bits)) as u8) | (0xFF >> bits));
+    }
+    out
+}
+
+/// Decodes Huffman `input` back to raw bytes, validating the padding.
+pub fn huffman_decode(input: &[u8]) -> Result<Vec<u8>, HpackError> {
+    let table = Huffman::get();
+    let mut out = Vec::with_capacity(input.len() * 8 / 5);
+    let mut node = 0usize;
+    // Bits consumed since the last completed symbol, and whether they were
+    // all ones (the only valid padding, at most 7 bits of it).
+    let mut partial_bits = 0u8;
+    let mut partial_all_ones = true;
+    for &byte in input {
+        for i in (0..8).rev() {
+            let bit = usize::from((byte >> i) & 1);
+            partial_all_ones &= bit == 1;
+            partial_bits += 1;
+            let next = table.trie[node][bit];
+            match next.cmp(&0) {
+                std::cmp::Ordering::Less => {
+                    out.push(!next as u8);
+                    node = 0;
+                    partial_bits = 0;
+                    partial_all_ones = true;
+                }
+                std::cmp::Ordering::Equal => return Err(HpackError::BadHuffman),
+                std::cmp::Ordering::Greater => node = next as usize,
+            }
+        }
+    }
+    if partial_bits >= 8 || !partial_all_ones {
+        return Err(HpackError::BadHuffman);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// String literals (§5.2)
+// ---------------------------------------------------------------------
+
+/// Writes a string literal, Huffman-coded only when that is shorter (the
+/// choice every production encoder makes).
+fn encode_string(out: &mut Vec<u8>, s: &str) {
+    let huffman = huffman_encode(s.as_bytes());
+    if huffman.len() < s.len() {
+        encode_int(out, 0x80, 7, huffman.len());
+        out.extend_from_slice(&huffman);
+    } else {
+        encode_int(out, 0x00, 7, s.len());
+        out.extend_from_slice(s.as_bytes());
+    }
+}
+
+fn decode_string(buf: &[u8], pos: &mut usize) -> Result<String, HpackError> {
+    let huffman = *buf.get(*pos).ok_or(HpackError::Truncated)? & 0x80 != 0;
+    let len = decode_int(buf, pos, 7)?;
+    let end = pos.checked_add(len).ok_or(HpackError::IntegerOverflow)?;
+    let raw = buf.get(*pos..end).ok_or(HpackError::Truncated)?;
+    *pos = end;
+    let bytes = if huffman { huffman_decode(raw)? } else { raw.to_vec() };
+    String::from_utf8(bytes).map_err(|_| HpackError::BadUtf8)
+}
+
+// ---------------------------------------------------------------------
+// Dynamic table (§4)
+// ---------------------------------------------------------------------
+
+/// The dynamic table both endpoints of a direction maintain in lockstep.
+#[derive(Debug, Default)]
+struct DynTable {
+    /// Newest first: `entries[0]` is index 62.
+    entries: std::collections::VecDeque<(String, String)>,
+    /// Sum of entry sizes (name + value + 32 each).
+    size: usize,
+    /// Current capacity (≤ `max_size`).
+    capacity: usize,
+}
+
+impl DynTable {
+    fn new(capacity: usize) -> DynTable {
+        DynTable { capacity, ..DynTable::default() }
+    }
+
+    fn entry_size(name: &str, value: &str) -> usize {
+        name.len() + value.len() + ENTRY_OVERHEAD
+    }
+
+    fn evict_to(&mut self, limit: usize) {
+        while self.size > limit {
+            let (name, value) = self.entries.pop_back().expect("size > 0 implies entries");
+            self.size -= DynTable::entry_size(&name, &value);
+        }
+    }
+
+    fn insert(&mut self, name: String, value: String) {
+        let size = DynTable::entry_size(&name, &value);
+        if size > self.capacity {
+            // An oversized entry empties the table and is not inserted.
+            self.evict_to(0);
+            return;
+        }
+        self.evict_to(self.capacity - size);
+        self.size += size;
+        self.entries.push_front((name, value));
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.evict_to(capacity);
+    }
+
+    /// Entry by HPACK index (62-based), if present.
+    fn get(&self, index: usize) -> Option<&(String, String)> {
+        self.entries.get(index.checked_sub(STATIC_TABLE.len() + 1)?)
+    }
+}
+
+/// Resolves an index against the static then dynamic table.
+fn lookup(table: &DynTable, index: usize) -> Result<(String, String), HpackError> {
+    if index == 0 {
+        return Err(HpackError::BadIndex(0));
+    }
+    if let Some(&(name, value)) = STATIC_TABLE.get(index - 1) {
+        return Ok((name.to_string(), value.to_string()));
+    }
+    let (name, value) = table.get(index).ok_or(HpackError::BadIndex(index))?;
+    Ok((name.clone(), value.clone()))
+}
+
+// ---------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------
+
+/// A stateful HPACK encoder for one direction of one connection.
+#[derive(Debug)]
+pub struct Encoder {
+    table: DynTable,
+    /// Capacity change to announce in the next header block (§6.3).
+    pending_capacity: Option<usize>,
+}
+
+impl Default for Encoder {
+    fn default() -> Encoder {
+        Encoder::new()
+    }
+}
+
+impl Encoder {
+    /// An encoder with the default 4096-octet dynamic table.
+    pub fn new() -> Encoder {
+        Encoder::with_capacity(DEFAULT_TABLE_SIZE)
+    }
+
+    /// An encoder with an explicit dynamic-table capacity.
+    pub fn with_capacity(capacity: usize) -> Encoder {
+        Encoder { table: DynTable::new(capacity), pending_capacity: None }
+    }
+
+    /// Schedules a dynamic-table capacity change; the size-update
+    /// instruction is emitted at the start of the next header block.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.pending_capacity = Some(capacity);
+    }
+
+    /// Current dynamic-table occupancy in octets (for tests and reports).
+    pub fn table_size(&self) -> usize {
+        self.table.size
+    }
+
+    /// Number of dynamic-table entries.
+    pub fn table_entries(&self) -> usize {
+        self.table.entries.len()
+    }
+
+    /// Encodes `headers` into one header block, updating the dynamic
+    /// table exactly as the peer's [`Decoder`] will.
+    pub fn encode(&mut self, headers: &[(String, String)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        if let Some(capacity) = self.pending_capacity.take() {
+            encode_int(&mut out, 0x20, 5, capacity);
+            self.table.set_capacity(capacity);
+        }
+        for (name, value) in headers {
+            self.encode_header(&mut out, name, value);
+        }
+        out
+    }
+
+    fn encode_header(&mut self, out: &mut Vec<u8>, name: &str, value: &str) {
+        // Exact match → one indexed instruction.
+        if let Some(index) = self.find_exact(name, value) {
+            encode_int(out, 0x80, 7, index);
+            return;
+        }
+        // Literal with incremental indexing, reusing an indexed name when
+        // one exists; both sides add the entry to their dynamic table.
+        match self.find_name(name) {
+            Some(index) => encode_int(out, 0x40, 6, index),
+            None => {
+                out.push(0x40);
+                encode_string(out, name);
+            }
+        }
+        encode_string(out, value);
+        self.table.insert(name.to_string(), value.to_string());
+    }
+
+    fn find_exact(&self, name: &str, value: &str) -> Option<usize> {
+        if let Some(i) = STATIC_TABLE.iter().position(|&(n, v)| n == name && v == value) {
+            return Some(i + 1);
+        }
+        self.table
+            .entries
+            .iter()
+            .position(|(n, v)| n == name && v == value)
+            .map(|i| STATIC_TABLE.len() + 1 + i)
+    }
+
+    fn find_name(&self, name: &str) -> Option<usize> {
+        if let Some(i) = STATIC_TABLE.iter().position(|&(n, _)| n == name) {
+            return Some(i + 1);
+        }
+        self.table.entries.iter().position(|(n, _)| n == name).map(|i| STATIC_TABLE.len() + 1 + i)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------
+
+/// A stateful HPACK decoder for one direction of one connection.
+#[derive(Debug)]
+pub struct Decoder {
+    table: DynTable,
+    /// Upper bound a size update may set (SETTINGS_HEADER_TABLE_SIZE).
+    max_capacity: usize,
+}
+
+impl Default for Decoder {
+    fn default() -> Decoder {
+        Decoder::new()
+    }
+}
+
+impl Decoder {
+    /// A decoder with the default 4096-octet dynamic table.
+    pub fn new() -> Decoder {
+        Decoder::with_capacity(DEFAULT_TABLE_SIZE)
+    }
+
+    /// A decoder whose dynamic table starts (and is capped) at `capacity`.
+    pub fn with_capacity(capacity: usize) -> Decoder {
+        Decoder { table: DynTable::new(capacity), max_capacity: capacity }
+    }
+
+    /// Current dynamic-table occupancy in octets.
+    pub fn table_size(&self) -> usize {
+        self.table.size
+    }
+
+    /// Decodes one complete header block.
+    pub fn decode(&mut self, block: &[u8]) -> Result<Vec<(String, String)>, HpackError> {
+        let mut headers = Vec::new();
+        let mut pos = 0usize;
+        while pos < block.len() {
+            let first = block[pos];
+            if first & 0x80 != 0 {
+                // Indexed header field.
+                let index = decode_int(block, &mut pos, 7)?;
+                headers.push(lookup(&self.table, index)?);
+            } else if first & 0xC0 == 0x40 {
+                // Literal with incremental indexing.
+                let (name, value) = self.decode_literal(block, &mut pos, 6)?;
+                self.table.insert(name.clone(), value.clone());
+                headers.push((name, value));
+            } else if first & 0xE0 == 0x20 {
+                // Dynamic-table size update.
+                let capacity = decode_int(block, &mut pos, 5)?;
+                if capacity > self.max_capacity {
+                    return Err(HpackError::TableSizeExceeded);
+                }
+                self.table.set_capacity(capacity);
+            } else {
+                // Literal without indexing (0000) or never indexed (0001).
+                let (name, value) = self.decode_literal(block, &mut pos, 4)?;
+                headers.push((name, value));
+            }
+        }
+        Ok(headers)
+    }
+
+    fn decode_literal(
+        &mut self,
+        block: &[u8],
+        pos: &mut usize,
+        prefix_bits: u8,
+    ) -> Result<(String, String), HpackError> {
+        let name_index = decode_int(block, pos, prefix_bits)?;
+        let name = if name_index == 0 {
+            decode_string(block, pos)?
+        } else {
+            lookup(&self.table, name_index)?.0
+        };
+        let value = decode_string(block, pos)?;
+        Ok((name, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(name: &str, value: &str) -> (String, String) {
+        (name.to_string(), value.to_string())
+    }
+
+    #[test]
+    fn canonical_codes_match_rfc7541_for_printable_ascii() {
+        let table = Huffman::get();
+        // Spot checks straight out of RFC 7541 Appendix B.
+        assert_eq!(table.codes[b'0' as usize], (0x0, 5));
+        assert_eq!(table.codes[b'a' as usize], (0x3, 5));
+        assert_eq!(table.codes[b' ' as usize], (0x14, 6));
+        assert_eq!(table.codes[b'-' as usize], (0x16, 6));
+        assert_eq!(table.codes[b':' as usize], (0x5c, 7));
+        assert_eq!(table.codes[b'&' as usize], (0xf8, 8));
+        assert_eq!(table.codes[b'?' as usize], (0x3fc, 10));
+        assert_eq!(table.codes[b'#' as usize], (0xffa, 12));
+        assert_eq!(table.codes[b'\\' as usize], (0x7fff0, 19));
+    }
+
+    #[test]
+    fn huffman_round_trips_header_text() {
+        for s in
+            ["www.example.com", "no-cache", "application/dns-message", "/dns-query?dns=AAAB", ""]
+        {
+            let coded = huffman_encode(s.as_bytes());
+            assert_eq!(huffman_decode(&coded).unwrap(), s.as_bytes());
+            // Typical header text compresses (~5-6.5 bits per char).
+            if s.len() > 4 {
+                assert!(coded.len() < s.len(), "{s:?} did not shrink");
+            }
+        }
+    }
+
+    #[test]
+    fn huffman_round_trips_every_byte_value() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        let coded = huffman_encode(&all);
+        assert_eq!(huffman_decode(&coded).unwrap(), all);
+    }
+
+    #[test]
+    fn huffman_rejects_bad_padding() {
+        // "0" = 00000 followed by 0-padding (must be 1-padding).
+        assert_eq!(huffman_decode(&[0x00]), Err(HpackError::BadHuffman));
+        // A whole byte of padding is never valid.
+        let mut coded = huffman_encode(b"ab");
+        coded.push(0xFF);
+        assert_eq!(huffman_decode(&coded), Err(HpackError::BadHuffman));
+    }
+
+    #[test]
+    fn integers_round_trip_across_prefix_sizes() {
+        for prefix in 1..=8u8 {
+            for value in [0usize, 1, 9, 30, 31, 127, 128, 1337, 65_535, 1 << 20] {
+                let mut buf = Vec::new();
+                encode_int(&mut buf, 0, prefix, value);
+                let mut pos = 0;
+                assert_eq!(decode_int(&buf, &mut pos, prefix).unwrap(), value);
+                assert_eq!(pos, buf.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rfc7541_c1_examples() {
+        // C.1.1: 10 with a 5-bit prefix is one byte.
+        let mut buf = Vec::new();
+        encode_int(&mut buf, 0, 5, 10);
+        assert_eq!(buf, [0b01010]);
+        // C.1.2: 1337 with a 5-bit prefix.
+        buf.clear();
+        encode_int(&mut buf, 0, 5, 1337);
+        assert_eq!(buf, [0b11111, 0b10011010, 0b00001010]);
+    }
+
+    #[test]
+    fn static_indexed_headers_cost_one_byte() {
+        let mut enc = Encoder::new();
+        let block = enc.encode(&[h(":method", "GET"), h(":status", "200")]);
+        assert_eq!(block, vec![0x82, 0x88]);
+        let mut dec = Decoder::new();
+        assert_eq!(dec.decode(&block).unwrap(), vec![h(":method", "GET"), h(":status", "200")]);
+    }
+
+    #[test]
+    fn repeated_headers_shrink_to_index_bytes() {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let headers = vec![
+            h(":method", "POST"),
+            h(":scheme", "https"),
+            h(":authority", "dns.example.net"),
+            h(":path", "/dns-query"),
+            h("content-type", "application/dns-message"),
+            h("content-length", "33"),
+        ];
+        let first = enc.encode(&headers);
+        assert_eq!(dec.decode(&first).unwrap(), headers);
+        let second = enc.encode(&headers);
+        assert_eq!(dec.decode(&second).unwrap(), headers);
+        // Every repeated header is a 1-byte index into the dynamic table.
+        assert_eq!(second.len(), headers.len());
+        assert!(first.len() > 4 * second.len(), "{} vs {}", first.len(), second.len());
+    }
+
+    #[test]
+    fn eviction_keeps_encoder_and_decoder_in_lockstep() {
+        // A table that only fits two ~42-octet entries.
+        let mut enc = Encoder::with_capacity(100);
+        let mut dec = Decoder::with_capacity(100);
+        for round in 0..20 {
+            let headers = vec![h("x-round", &format!("value-{round:04}"))];
+            let block = enc.encode(&headers);
+            assert_eq!(dec.decode(&block).unwrap(), headers);
+            assert_eq!(enc.table_size(), dec.table_size());
+            assert!(enc.table_size() <= 100);
+        }
+        assert_eq!(enc.table_entries(), 2);
+    }
+
+    #[test]
+    fn oversized_entry_empties_the_table() {
+        let mut enc = Encoder::with_capacity(64);
+        let mut dec = Decoder::with_capacity(64);
+        enc.encode(&[h("a", "b")]);
+        dec.decode(&enc.encode(&[h("c", "d")])).unwrap();
+        let big = "v".repeat(200);
+        let block = enc.encode(&[h("huge-header-name", &big)]);
+        assert_eq!(dec.decode(&block).unwrap(), vec![h("huge-header-name", &big)]);
+        assert_eq!(enc.table_size(), 0);
+        assert_eq!(dec.table_size(), 0);
+    }
+
+    #[test]
+    fn size_update_is_emitted_and_applied() {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        dec.decode(&enc.encode(&[h("x-a", "1"), h("x-b", "2")])).unwrap();
+        assert!(dec.table_size() > 0);
+        enc.set_capacity(0);
+        let block = enc.encode(&[h("x-c", "3")]);
+        assert_eq!(block[0] & 0xE0, 0x20, "block must start with a size update");
+        dec.decode(&block).unwrap();
+        assert_eq!(enc.table_size(), 0);
+        assert_eq!(dec.table_size(), 0);
+    }
+
+    #[test]
+    fn size_update_above_the_maximum_is_rejected() {
+        let mut dec = Decoder::with_capacity(256);
+        let mut block = Vec::new();
+        encode_int(&mut block, 0x20, 5, 4096);
+        assert_eq!(dec.decode(&block), Err(HpackError::TableSizeExceeded));
+    }
+
+    #[test]
+    fn bad_index_and_truncation_are_reported() {
+        let mut dec = Decoder::new();
+        assert_eq!(dec.decode(&[0x80]), Err(HpackError::BadIndex(0)));
+        assert_eq!(dec.decode(&[0xFF]), Err(HpackError::Truncated));
+        assert!(matches!(dec.decode(&[0xBF, 0x20]), Err(HpackError::BadIndex(_))));
+        // Literal whose value string runs past the block.
+        assert_eq!(dec.decode(&[0x41, 0x02, b'h']), Err(HpackError::Truncated));
+    }
+}

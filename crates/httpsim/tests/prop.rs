@@ -1,0 +1,260 @@
+//! Property-based tests for the HTTP codecs.
+//!
+//! Same pattern as `dns-wire/tests/prop.rs`: the workspace builds
+//! offline, so instead of `proptest` a small in-file SplitMix64 generator
+//! drives random inputs, and every property is checked over many cases.
+//! Failures print the offending seed so a case can be replayed exactly.
+
+use dohmark_httpsim::h1::{Request, RequestParser, Response, ResponseParser};
+use dohmark_httpsim::hpack::{huffman_decode, huffman_encode, Decoder, Encoder};
+
+const CASES: u64 = 192;
+
+/// Deterministic SplitMix64 generator; tiny, unbiased enough for tests.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+
+    /// A header-name token: `[a-z][a-z0-9-]{0,14}`, sometimes a
+    /// well-known name so the static table gets exercised.
+    fn header_name(&mut self) -> String {
+        const KNOWN: [&str; 8] = [
+            "content-type",
+            "content-length",
+            "accept",
+            "user-agent",
+            "cache-control",
+            "x-padding",
+            "etag",
+            "via",
+        ];
+        if self.chance(3) {
+            return KNOWN[self.below(KNOWN.len() as u64) as usize].to_string();
+        }
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+        let len = self.below(15) as usize;
+        let mut s = String::new();
+        s.push(FIRST[self.below(26) as usize] as char);
+        for _ in 0..len {
+            s.push(REST[self.below(REST.len() as u64) as usize] as char);
+        }
+        s
+    }
+
+    /// A header value: printable ASCII without CR/LF, no edge whitespace
+    /// (HTTP/1.1 parsing trims optional whitespace around values).
+    fn header_value(&mut self, max: u64) -> String {
+        let len = self.below(max + 1);
+        let mut s: String = (0..len).map(|_| (0x20 + self.below(0x5F)) as u8 as char).collect();
+        while s.starts_with(' ') || s.ends_with(' ') {
+            s = s.trim().to_string();
+        }
+        s
+    }
+
+    fn headers(&mut self, max: u64) -> Vec<(String, String)> {
+        (0..self.below(max + 1)).map(|_| (self.header_name(), self.header_value(30))).collect()
+    }
+
+    fn bytes(&mut self, max: u64) -> Vec<u8> {
+        (0..self.below(max + 1)).map(|_| self.next() as u8).collect()
+    }
+
+    /// Randomises ASCII case, e.g. `content-length` → `CoNtEnT-LeNgTh`.
+    fn mangle_case(&mut self, s: &str) -> String {
+        s.chars()
+            .map(|c| if self.chance(2) { c.to_ascii_uppercase() } else { c.to_ascii_lowercase() })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// HPACK
+// ---------------------------------------------------------------------
+
+#[test]
+fn hpack_random_header_lists_round_trip() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        for round in 0..4 {
+            let headers = g.headers(12);
+            let block = enc.encode(&headers);
+            let decoded = dec
+                .decode(&block)
+                .unwrap_or_else(|e| panic!("seed {seed} round {round}: decode failed: {e}"));
+            assert_eq!(decoded, headers, "seed {seed} round {round}");
+        }
+    }
+}
+
+#[test]
+fn hpack_round_trips_through_dynamic_table_evictions() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        // Tiny tables (0..=160 octets) force constant eviction churn;
+        // entries are ~35-80 octets each (name + value + 32).
+        let capacity = (g.below(5) * 40) as usize;
+        let mut enc = Encoder::with_capacity(capacity);
+        let mut dec = Decoder::with_capacity(capacity);
+        for round in 0..8 {
+            let headers = g.headers(6);
+            let block = enc.encode(&headers);
+            let decoded = dec
+                .decode(&block)
+                .unwrap_or_else(|e| panic!("seed {seed} round {round}: decode failed: {e}"));
+            assert_eq!(decoded, headers, "seed {seed} round {round} cap {capacity}");
+            assert_eq!(
+                enc.table_size(),
+                dec.table_size(),
+                "seed {seed} round {round}: tables diverged"
+            );
+            assert!(enc.table_size() <= capacity, "seed {seed}: eviction failed");
+        }
+    }
+}
+
+#[test]
+fn hpack_capacity_changes_mid_stream_stay_in_lockstep() {
+    for seed in 0..CASES / 4 {
+        let mut g = Gen::new(seed);
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        for round in 0..6 {
+            if g.chance(2) {
+                enc.set_capacity((g.below(8) * 32) as usize);
+            }
+            let headers = g.headers(5);
+            let block = enc.encode(&headers);
+            assert_eq!(dec.decode(&block).unwrap(), headers, "seed {seed} round {round}");
+            assert_eq!(enc.table_size(), dec.table_size(), "seed {seed} round {round}");
+        }
+    }
+}
+
+#[test]
+fn huffman_round_trips_arbitrary_bytes() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let input = g.bytes(200);
+        let coded = huffman_encode(&input);
+        assert_eq!(huffman_decode(&coded).unwrap(), input, "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP/1.1
+// ---------------------------------------------------------------------
+
+/// Compares header lists modulo name case.
+fn headers_match(sent: &[(String, String)], got: &[(String, String)]) -> bool {
+    sent.len() == got.len()
+        && sent.iter().zip(got).all(|((an, av), (bn, bv))| an.eq_ignore_ascii_case(bn) && av == bv)
+}
+
+#[test]
+fn h1_random_requests_round_trip_across_segmentation() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let mut headers = g.headers(8);
+        // Framing headers are supplied by the encoder; random lists must
+        // not carry their own (a random "content-length: <garbage>" would
+        // be a *different*, legitimately rejected message).
+        headers.retain(|(n, _)| {
+            !n.eq_ignore_ascii_case("content-length")
+                && !n.eq_ignore_ascii_case("transfer-encoding")
+        });
+        let body = g.bytes(300);
+        let chunked = g.chance(3);
+        if chunked {
+            headers.push(("Transfer-Encoding".to_string(), "chunked".to_string()));
+        }
+        // Odd header casing must survive the trip (case-insensitively).
+        for (name, _) in headers.iter_mut() {
+            *name = g.mangle_case(name);
+        }
+        let request = Request::new("POST", "/dns-query", headers.clone()).with_body(body.clone());
+        let wire = request.encode().concat();
+        let mut parser = RequestParser::new();
+        let step = 1 + g.below(40) as usize;
+        let mut got = None;
+        for chunk in wire.chunks(step) {
+            parser.push(chunk);
+            if let Some(req) = parser.next_request().unwrap_or_else(|e| {
+                panic!("seed {seed}: parse failed: {e}");
+            }) {
+                got = Some(req);
+            }
+        }
+        let got = got.unwrap_or_else(|| panic!("seed {seed}: no request parsed"));
+        assert_eq!(got.method, "POST", "seed {seed}");
+        assert_eq!(got.body, body, "seed {seed}");
+        let mut sent = headers.clone();
+        if !chunked && !body.is_empty() {
+            sent.push(("content-length".to_string(), body.len().to_string()));
+        }
+        assert!(headers_match(&sent, &got.headers), "seed {seed}: {sent:?} vs {:?}", got.headers);
+    }
+}
+
+#[test]
+fn h1_pipelined_random_responses_round_trip() {
+    for seed in 0..CASES / 2 {
+        let mut g = Gen::new(seed);
+        let count = 1 + g.below(4) as usize;
+        let mut wire = Vec::new();
+        let mut sent = Vec::new();
+        for _ in 0..count {
+            let mut headers = g.headers(5);
+            headers.retain(|(n, _)| {
+                !n.eq_ignore_ascii_case("content-length")
+                    && !n.eq_ignore_ascii_case("transfer-encoding")
+            });
+            if g.chance(3) {
+                headers.push((g.mangle_case("transfer-encoding"), "chunked".to_string()));
+            }
+            let body = g.bytes(200);
+            let status = 200 + (g.below(5) as u16) * 100;
+            let response = Response::new(status, "Status", headers).with_body(body);
+            wire.extend(response.encode().concat());
+            sent.push(response);
+        }
+        let mut parser = ResponseParser::new();
+        let mut got = Vec::new();
+        let step = 1 + g.below(64) as usize;
+        for chunk in wire.chunks(step) {
+            parser.push(chunk);
+            while let Some(resp) =
+                parser.next_response().unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+            {
+                got.push(resp);
+            }
+        }
+        assert_eq!(got.len(), sent.len(), "seed {seed}");
+        for (s, r) in sent.iter().zip(&got) {
+            assert_eq!(s.status, r.status, "seed {seed}");
+            assert_eq!(s.body, r.body, "seed {seed}");
+        }
+    }
+}

@@ -4,7 +4,7 @@
 use crate::time::{SimDuration, SimTime};
 
 /// Configuration of one direction of a link.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// One-way propagation delay.
     pub latency: SimDuration,

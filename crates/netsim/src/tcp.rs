@@ -265,6 +265,14 @@ impl Sim {
     /// `tag` with the current attribution, and transmits what the window
     /// allows. Data queued before the handshake completes is held back.
     pub fn tcp_send(&mut self, conn: TcpHandle, tag: LayerTag, data: &[u8]) {
+        self.tcp_send_vectored(conn, &[(tag, data)]);
+    }
+
+    /// Queues several differently tagged byte ranges as **one** write, so
+    /// they coalesce into MSS-sized segments instead of one segment per
+    /// range — the on-wire shape of a real stack writing a whole TLS
+    /// record (header + HTTP parts + tag) with a single `write()`.
+    pub fn tcp_send_vectored(&mut self, conn: TcpHandle, parts: &[(LayerTag, &[u8])]) {
         let attr = self.attr();
         {
             let ep = self.ep_mut(conn);
@@ -272,7 +280,9 @@ impl Sim {
             if ep.fin_queued || ep.failed {
                 return;
             }
-            ep.sndbuf.push(tag, attr, data);
+            for (tag, data) in parts {
+                ep.sndbuf.push(*tag, attr, data);
+            }
         }
         self.tcp_pump(conn.conn, conn.side);
     }
@@ -1052,6 +1062,32 @@ mod tests {
         assert_eq!(bytes, vec![3; 20]);
         assert_eq!(ranges.len(), 1);
         assert_eq!(ranges[0].tag, LayerTag::HttpBody);
+    }
+
+    #[test]
+    fn vectored_send_coalesces_ranges_into_one_segment() {
+        let (mut sim, a, b) = two_hosts(12, LinkConfig::localhost());
+        sim.trace.enable(100);
+        sim.tcp_listen(b, 853);
+        let client = sim.tcp_connect(a, (b, 853));
+        wait_for(&mut sim, |w| matches!(w, Wake::TcpConnected { .. }));
+        let before = sim.meter.total().packets;
+        sim.tcp_send_vectored(
+            client,
+            &[
+                (LayerTag::Tls, &[1; 5]),
+                (LayerTag::HttpHeader, &[2; 60]),
+                (LayerTag::HttpBody, &[3; 40]),
+                (LayerTag::Tls, &[4; 16]),
+            ],
+        );
+        sim.drain();
+        // One data segment (plus its delayed ACK), not four.
+        assert_eq!(sim.meter.total().packets, before + 2);
+        let t = sim.meter.total();
+        assert_eq!(t.layers.tls, 21);
+        assert_eq!(t.layers.http_header, 60);
+        assert_eq!(t.layers.http_body, 40);
     }
 
     #[test]

@@ -42,6 +42,29 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+/// ALPN protocol id for DNS over TLS (a conventional private label; DoT
+/// deployments rarely negotiate ALPN, but the offer's bytes are modelled).
+pub const ALPN_DOT: &str = "dot";
+/// ALPN protocol id for HTTP/1.1 (RFC 7301).
+pub const ALPN_HTTP11: &str = "http/1.1";
+/// ALPN protocol id for HTTP/2 over TLS (RFC 9113 §3.3).
+pub const ALPN_H2: &str = "h2";
+
+/// RFC 7301 §3.2 protocol selection: the server picks its most-preferred
+/// protocol that the client offered; `None` means no overlap, which a
+/// real server answers with a `no_application_protocol` alert.
+///
+/// ```
+/// use dohmark_tls_model::{select_alpn, ALPN_H2, ALPN_HTTP11};
+///
+/// let offers = vec![ALPN_H2.to_string(), ALPN_HTTP11.to_string()];
+/// assert_eq!(select_alpn(&offers, &[ALPN_HTTP11, ALPN_H2]), Some(ALPN_HTTP11));
+/// assert_eq!(select_alpn(&offers, &["dot"]), None);
+/// ```
+pub fn select_alpn<'a>(client_offers: &[String], server_prefs: &'a [&str]) -> Option<&'a str> {
+    server_prefs.iter().find(|p| client_offers.iter().any(|o| o == **p)).copied()
+}
+
 /// TLS record header: content type (1), legacy version (2), length (2).
 pub const RECORD_HEADER: usize = 5;
 /// AEAD authentication tag appended to every encrypted record.

@@ -10,11 +10,12 @@
 
 use dohmark::dns::Name;
 use dohmark::doh::{
-    drain_endpoints, Do53Client, Do53Server, DotClient, DotServer, Endpoint, ReusePolicy,
+    advance_endpoints_until, drain_endpoints, Do53Client, Do53Server, DotClient, DotServer,
+    Endpoint, ReusePolicy,
 };
-use dohmark::netsim::{Cost, CostMeter, LinkConfig, Sim, SimDuration, SimTime, Wake};
+use dohmark::netsim::{Cost, CostMeter, LinkConfig, Sim, SimDuration};
 use dohmark::tls::{handshake_bytes, TlsConfig};
-use dohmark::workload::{NameGen, PoissonArrivals};
+use dohmark::workload::QuerySchedule;
 use std::net::Ipv4Addr;
 
 const SEED: u64 = 42;
@@ -30,20 +31,6 @@ fn tls_config() -> TlsConfig {
     TlsConfig::for_server("dns.example.net").alpn("dot")
 }
 
-/// Advances the simulation to the next Poisson arrival, dispatching
-/// leftover wakes (ACKs, FIN teardown) to both endpoints on the way.
-fn advance_to_arrival(sim: &mut Sim, a: &mut dyn Endpoint, b: &mut dyn Endpoint, at: SimTime) {
-    let token = u64::MAX;
-    sim.schedule_app(at, token);
-    while let Some(wake) = sim.next_wake() {
-        if matches!(wake, Wake::AppTimer { token: t, .. } if t == token) {
-            return;
-        }
-        a.on_wake(sim, &wake);
-        b.on_wake(sim, &wake);
-    }
-}
-
 /// One scenario: a fresh simulator, the same seeded workload, N sequential
 /// resolutions. Returns the meter and the wall-clock the run took.
 fn run<C, S>(
@@ -56,14 +43,14 @@ where
 {
     let mut sim = Sim::new(SEED);
     let (mut client, mut server) = make(&mut sim);
-    let mut arrivals = PoissonArrivals::new(sim.split_rng(1), SimDuration::from_millis(50));
-    let mut names = NameGen::new(sim.split_rng(2), 8, &Name::parse("dohmark.test").unwrap());
-    let mut at = SimTime::ZERO;
-    for id in 1..=RESOLUTIONS {
-        at += arrivals.next_gap();
-        advance_to_arrival(&mut sim, &mut client, &mut server, at);
-        let name = names.next_name();
-        resolve(&mut sim, &mut client, &mut server, &name, id);
+    // The workload RNG is split from the simulator seed, so every
+    // scenario resolves the identical (arrival, name) stream.
+    let mut rng = sim.split_rng(0);
+    let zone = Name::parse("dohmark.test").unwrap();
+    let schedule = QuerySchedule::new(&mut rng, SimDuration::from_millis(50), 8, &zone);
+    for (i, (at, name)) in schedule.take(usize::from(RESOLUTIONS)).enumerate() {
+        advance_endpoints_until(&mut sim, &mut [&mut client, &mut server], at);
+        resolve(&mut sim, &mut client, &mut server, &name, i as u16 + 1);
     }
     drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
     let mut meter = CostMeter::new();

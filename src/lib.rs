@@ -11,11 +11,14 @@
 //! * [`tls`] — TLS 1.2/1.3 handshake and record-layer byte model:
 //!   configurable flights (SNI, ALPN, certificate chain, resumption) and
 //!   record framing/deframing.
-//! * [`http`] — HPACK, HTTP/2 framing and HTTP/1.1 codecs (planned).
-//! * [`doh`] — simulated DNS transports: UDP Do53 with ephemeral source
-//!   ports and DoT with fresh/persistent connection reuse, each resolution
-//!   attributed in the cost meter. DoH over HTTP/1.1 and HTTP/2 lands with
-//!   [`http`].
+//! * [`http`] — byte-accurate HTTP codecs: HPACK (static + dynamic table
+//!   with eviction, Huffman coding), HTTP/2 framing and HTTP/1.1
+//!   request/response text.
+//! * [`doh`] — simulated DNS transports behind one unified API: UDP Do53,
+//!   DoT, and DoH over HTTP/1.1 and HTTP/2, each resolution attributed in
+//!   the cost meter. `doh::build_pair` turns a `doh::TransportConfig`
+//!   (kind × reuse × TLS resumption) into a boxed `Resolver`/`Endpoint`
+//!   pair, so experiments iterate the whole transport matrix.
 //! * [`survey`] — the DoH provider landscape survey, paper Tables 1–2
 //!   (planned).
 //! * [`workload`] — seeded Poisson query arrivals and constant-length

@@ -1,0 +1,145 @@
+//! Integration test for the unified transport API: `build_pair` must
+//! construct every matrix cell, and the cells must reproduce the paper's
+//! qualitative cost ordering deterministically — the same properties
+//! `examples/transport_shootout.rs` demonstrates, kept under `cargo test`
+//! and driven through the same shared `dohmark_bench::run_matrix_cell`
+//! loop so the example, this test and the figure harnesses measure the
+//! same thing.
+
+use dohmark::dns::Name;
+use dohmark::doh::{drain_endpoints, resolve_with, ReusePolicy, TransportConfig, TransportKind};
+use dohmark::netsim::Sim;
+use dohmark_bench::{run_matrix_cell, CellRun};
+
+const RESOLUTIONS: u16 = 6;
+
+fn cell(kind: TransportKind, reuse: ReusePolicy) -> CellRun {
+    run_matrix_cell(&TransportConfig::new(kind, reuse), 42, RESOLUTIONS)
+}
+
+#[test]
+fn build_pair_constructs_every_kind_in_both_reuse_modes() {
+    let cells = TransportConfig::matrix();
+    for kind in [TransportKind::Dot, TransportKind::DohH1, TransportKind::DohH2] {
+        for reuse in [ReusePolicy::Fresh, ReusePolicy::Persistent] {
+            assert!(
+                cells.iter().any(|c| c.kind == kind && c.reuse == reuse),
+                "matrix misses {kind:?}/{reuse:?}"
+            );
+        }
+    }
+    assert!(cells.iter().any(|c| c.kind == TransportKind::Do53));
+    for cfg in &cells {
+        // run_matrix_cell panics if any resolution fails to complete.
+        let run = run_matrix_cell(cfg, 42, RESOLUTIONS);
+        assert!(run.bytes_per_resolution > 0.0, "{} moved no bytes", cfg.label());
+    }
+}
+
+#[test]
+fn cold_doh_h2_is_the_costliest_cell_and_persistence_amortises() {
+    let do53 = cell(TransportKind::Do53, ReusePolicy::Fresh).bytes_per_resolution;
+    let h2_cold = cell(TransportKind::DohH2, ReusePolicy::Fresh).bytes_per_resolution;
+    for (kind, reuse) in [
+        (TransportKind::Do53, ReusePolicy::Fresh),
+        (TransportKind::Dot, ReusePolicy::Fresh),
+        (TransportKind::Dot, ReusePolicy::Persistent),
+        (TransportKind::DohH1, ReusePolicy::Fresh),
+        (TransportKind::DohH1, ReusePolicy::Persistent),
+        (TransportKind::DohH2, ReusePolicy::Persistent),
+    ] {
+        assert!(
+            h2_cold > cell(kind, reuse).bytes_per_resolution,
+            "cold doh-h2 must out-cost {kind:?}/{reuse:?}"
+        );
+    }
+    // Persistent connections amortise toward the Do53 baseline: far from
+    // the cold cost, within an order of magnitude of UDP.
+    for kind in [TransportKind::Dot, TransportKind::DohH1, TransportKind::DohH2] {
+        let persistent = cell(kind, ReusePolicy::Persistent).bytes_per_resolution;
+        let cold = cell(kind, ReusePolicy::Fresh).bytes_per_resolution;
+        assert!(
+            persistent * 3.0 < cold && persistent < 10.0 * do53,
+            "{kind:?}: persistent {persistent:.0} vs cold {cold:.0} vs do53 {do53:.0}"
+        );
+    }
+}
+
+#[test]
+fn persistent_doh_h2_shrinks_header_bytes_via_hpack() {
+    let headers = cell(TransportKind::DohH2, ReusePolicy::Persistent).header_bytes_per_query;
+    assert!(
+        headers.iter().skip(1).all(|&h| 2 * h < headers[0]),
+        "dynamic table must at least halve later header blocks: {headers:?}"
+    );
+    let h1_headers = cell(TransportKind::DohH1, ReusePolicy::Persistent).header_bytes_per_query;
+    assert!(
+        h1_headers.windows(2).all(|w| w[0] == w[1]),
+        "h1 has no header compression: {h1_headers:?}"
+    );
+    assert!(headers[1] < h1_headers[1], "steady-state h2 headers must undercut h1 text");
+}
+
+#[test]
+fn the_matrix_is_deterministic_under_a_fixed_seed() {
+    for cfg in TransportConfig::matrix() {
+        assert_eq!(
+            run_matrix_cell(&cfg, 7, RESOLUTIONS),
+            run_matrix_cell(&cfg, 7, RESOLUTIONS),
+            "{} diverged",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn resolve_with_extras_routes_wakes_to_bystander_endpoints() {
+    // Two independent DoH/2 sessions on one simulator: driving a
+    // resolution on the first must not swallow the second's teardown
+    // wakes (the GOAWAY/FIN exchange after its client closed). Session B
+    // uses concrete types so its connection state can be asserted.
+    use dohmark::doh::{build_pair_on, DohH2Client, DohH2Server, Resolver};
+    use dohmark::tls::{TlsConfig, ALPN_H2};
+    use std::net::Ipv4Addr;
+
+    let mut sim = Sim::new(5);
+    let cfg = TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent);
+    let stub = sim.add_host("stub");
+    let resolver = sim.add_host("resolver");
+    sim.add_link(stub, resolver, cfg.link);
+    let (mut client_a, mut server_a) = build_pair_on(&mut sim, stub, resolver, &cfg);
+    let tls = TlsConfig::for_server("dns.example.net").alpn(ALPN_H2);
+    let mut server_b =
+        DohH2Server::bind(&mut sim, resolver, 8443, tls.clone(), Ipv4Addr::new(192, 0, 2, 9), 60);
+    let mut client_b = DohH2Client::new(
+        stub,
+        (resolver, 8443),
+        "dns.example.net",
+        tls,
+        ReusePolicy::Persistent,
+        200,
+    );
+    let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+
+    // Session B resolves, then starts closing — its GOAWAY/FIN exchange
+    // is still in flight when session A's resolution is driven.
+    resolve_with(&mut sim, &mut client_b, &mut server_b, &name, 100).unwrap();
+    client_b.close(&mut sim);
+    let response = dohmark::doh::resolve_with_extras(
+        &mut sim,
+        client_a.as_mut(),
+        server_a.as_mut(),
+        &mut [&mut client_b, &mut server_b],
+        &name,
+        1,
+    );
+    assert!(response.is_some());
+    drain_endpoints(
+        &mut sim,
+        &mut [client_a.as_mut(), server_a.as_mut(), &mut client_b, &mut server_b],
+    );
+    // B's teardown completed even though A's resolve loop was driving:
+    // the FIN wake reached B's server instead of being discarded.
+    assert!(!client_b.is_connected());
+    assert_eq!(server_b.open_connections(), 0, "B's teardown wake was lost");
+}
