@@ -1,1 +1,54 @@
-fn main() {}
+//! Wall-clock bench: how fast the simulator drives a 1,000-client fleet
+//! through each transport cell.
+//!
+//! A plain-main harness (no external benchmarking crates): it times one
+//! seeded 1,000-stub-client fleet run per transport — the topology the
+//! addressed-routing driver exists for — and prints one line of JSON.
+//! Redirect stdout to refresh `BENCH_transports.json` at the repo root:
+//!
+//! ```text
+//! cargo bench --bench transports > BENCH_transports.json
+//! ```
+
+use std::time::Instant;
+
+use dohmark::netsim::SimDuration;
+use dohmark_bench::{fleet_transports, run_fleet_cell, FleetConfig};
+
+const SEED: u64 = 1;
+const CLIENTS: usize = 1000;
+const UNIVERSE: usize = 400;
+
+fn main() {
+    let mut out = String::from(
+        "{\"bench\": \"transports\", \"clients\": 1000, \"queries_per_client\": 1, \
+         \"universe\": 400, \"rows\": [",
+    );
+    for (i, transport) in fleet_transports().into_iter().enumerate() {
+        let cfg = FleetConfig {
+            queries_per_client: 1,
+            mean_gap: SimDuration::from_millis(100),
+            ..FleetConfig::new(transport, CLIENTS, UNIVERSE)
+        };
+        let started = Instant::now();
+        let run = run_fleet_cell(&cfg, SEED);
+        let wall = started.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"cell\": ");
+        dohmark::dns::jsontext::write_escaped(&mut out, &run.label);
+        out.push_str(&format!(
+            ", \"transport\": \"{}\", \"queries\": {}, \"wall_ms\": {:.1}, \
+             \"resolutions_per_sec\": {:.0}, \"hit_ratio\": {:.4}}}",
+            run.transport,
+            run.queries,
+            wall_ms,
+            run.queries as f64 / wall.as_secs_f64().max(1e-9),
+            run.hit_ratio,
+        ));
+    }
+    out.push_str("]}");
+    println!("{out}");
+}

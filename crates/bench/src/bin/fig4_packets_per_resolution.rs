@@ -1,1 +1,19 @@
-fn main() {}
+//! Figure 4 — packets per resolution across the transport matrix.
+//!
+//! Runs the same seeded workload as the Figure 3 harness through every
+//! matrix cell and emits one line of JSON with the per-resolution packet
+//! means (and bytes-per-packet, the datagram-efficiency view).
+
+use dohmark::doh::TransportConfig;
+use dohmark_bench::{fig4_json, run_matrix_cell};
+
+const SEEDS: std::ops::RangeInclusive<u64> = 1..=10;
+const RESOLUTIONS: u16 = 20;
+
+fn main() {
+    let runs: Vec<_> = TransportConfig::matrix()
+        .iter()
+        .flat_map(|cfg| SEEDS.map(|seed| run_matrix_cell(cfg, seed, RESOLUTIONS)))
+        .collect();
+    println!("{}", fig4_json(RESOLUTIONS, &runs));
+}

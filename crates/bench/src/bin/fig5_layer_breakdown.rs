@@ -1,1 +1,20 @@
-fn main() {}
+//! Figure 5 — per-layer byte breakdown across the transport matrix.
+//!
+//! Runs the same seeded workload as the Figure 3 harness through every
+//! matrix cell and emits one line of JSON splitting each cell's mean
+//! bytes per resolution into the six layer tags (DNS payload, TCP, TLS,
+//! HTTP header/body/management).
+
+use dohmark::doh::TransportConfig;
+use dohmark_bench::{fig5_json, run_matrix_cell};
+
+const SEEDS: std::ops::RangeInclusive<u64> = 1..=10;
+const RESOLUTIONS: u16 = 20;
+
+fn main() {
+    let runs: Vec<_> = TransportConfig::matrix()
+        .iter()
+        .flat_map(|cfg| SEEDS.map(|seed| run_matrix_cell(cfg, seed, RESOLUTIONS)))
+        .collect();
+    println!("{}", fig5_json(RESOLUTIONS, &runs));
+}

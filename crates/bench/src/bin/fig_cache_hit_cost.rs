@@ -1,0 +1,27 @@
+//! Cache-hit cost — bytes per resolution vs. cache-hit ratio, per
+//! transport, on a 1,000-stub-client fleet sharing one caching recursive
+//! resolver.
+//!
+//! The cache-hit ratio is swept by shrinking the Zipf name universe the
+//! fleet draws from: a broad universe forces compulsory misses (and
+//! upstream fetches), a narrow one lets the shared cache absorb almost
+//! everything. Emits one line of JSON pairing each cell's `hit_ratio`
+//! with its `bytes_per_resolution`.
+
+use dohmark_bench::{fig_cache_hit_cost_json, fleet_transports, run_fleet_cell, FleetConfig};
+
+const SEED: u64 = 1;
+const CLIENTS: usize = 1000;
+const UNIVERSES: [usize; 5] = [4000, 800, 160, 32, 8];
+
+fn main() {
+    let runs: Vec<_> = fleet_transports()
+        .iter()
+        .flat_map(|transport| {
+            UNIVERSES.map(|universe| {
+                run_fleet_cell(&FleetConfig::new(transport.clone(), CLIENTS, universe), SEED)
+            })
+        })
+        .collect();
+    println!("{}", fig_cache_hit_cost_json(&runs));
+}

@@ -3,9 +3,11 @@
 //! One binary per figure/table lives under `src/bin/`; the shared
 //! machinery sits here so it can be unit-tested: [`run_matrix_cell`]
 //! resolves a seeded workload through one [`TransportConfig`] cell and
-//! aggregates the per-resolution cost, and [`fig3_json`] serialises a set
-//! of runs as a single-line JSON document (parseable by the in-tree
-//! `dns-wire::jsontext` codec — the workspace has no serde).
+//! aggregates the per-resolution cost, [`run_fleet_cell`] drives a whole
+//! stub fleet against one shared caching recursive resolver, and the
+//! `fig*_json` helpers serialise runs as single-line JSON documents
+//! (parseable by the in-tree `dns-wire::jsontext` codec — the workspace
+//! has no serde).
 //!
 //! The `benches/` targets are plain-main harnesses kept buildable without
 //! external benchmarking crates.
@@ -15,10 +17,11 @@
 
 use dohmark::dns::Name;
 use dohmark::doh::{
-    advance_endpoints_until, build_pair, drain_endpoints, resolve_with, TransportConfig,
+    advance_endpoints_until, build_pair, drain_endpoints, resolve_with, Driver, RecursiveResolver,
+    ReusePolicy, ServerBackend, TransportConfig, TransportKind, Zone,
 };
 use dohmark::netsim::{Cost, LayerTag, Sim, SimDuration};
-use dohmark::workload::QuerySchedule;
+use dohmark::workload::{FleetSchedule, QuerySchedule};
 
 /// RNG stream label the harnesses draw their workload from.
 pub const WORKLOAD_STREAM: u64 = 7;
@@ -97,6 +100,29 @@ pub fn run_matrix_cell(cfg: &TransportConfig, seed: u64, resolutions: u16) -> Ce
     }
 }
 
+/// Writes the identifying prefix every per-cell row shares:
+/// `{"cell": …, "transport": …, "reuse": …, "resumed": …, "seed": …`.
+fn push_cell_prefix(out: &mut String, run: &CellRun) {
+    out.push_str("{\"cell\": ");
+    dohmark::dns::jsontext::write_escaped(out, &run.label);
+    out.push_str(&format!(
+        ", \"transport\": \"{}\", \"reuse\": \"{}\", \"resumed\": {}, \"seed\": {}",
+        run.transport, run.reuse, run.resumed, run.seed
+    ));
+}
+
+/// Writes `run`'s per-layer byte means as a `"layers": {…}` object.
+fn push_layers(out: &mut String, run: &CellRun) {
+    out.push_str("\"layers\": {");
+    for (j, (tag, bytes)) in run.layers.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {bytes:.2}", tag.label().to_lowercase()));
+    }
+    out.push('}');
+}
+
 /// Serialises Figure 3 runs as one line of JSON on the shape
 /// `{"experiment": …, "resolutions": …, "rows": [{…}, …]}`.
 pub fn fig3_json(resolutions: u16, runs: &[CellRun]) -> String {
@@ -106,28 +132,274 @@ pub fn fig3_json(resolutions: u16, runs: &[CellRun]) -> String {
         if i > 0 {
             out.push_str(", ");
         }
-        out.push_str("{\"cell\": ");
-        dohmark::dns::jsontext::write_escaped(&mut out, &run.label);
+        push_cell_prefix(&mut out, run);
         out.push_str(&format!(
-            ", \"transport\": \"{}\", \"reuse\": \"{}\", \"resumed\": {}, \"seed\": {}, \
-             \"bytes_per_resolution\": {:.2}, \"packets_per_resolution\": {:.2}, \"layers\": {{",
-            run.transport,
-            run.reuse,
-            run.resumed,
-            run.seed,
-            run.bytes_per_resolution,
-            run.packets_per_resolution
+            ", \"bytes_per_resolution\": {:.2}, \"packets_per_resolution\": {:.2}, \
+             \"steady_bytes_per_resolution\": {:.2}, ",
+            run.bytes_per_resolution, run.packets_per_resolution, run.steady_bytes_per_resolution,
         ));
-        for (j, (tag, bytes)) in run.layers.iter().enumerate() {
+        push_layers(&mut out, run);
+        out.push_str(", \"header_bytes_per_query\": [");
+        for (j, bytes) in run.header_bytes_per_query.iter().enumerate() {
             if j > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&format!("\"{}\": {bytes:.2}", tag.label().to_lowercase()));
+            out.push_str(&bytes.to_string());
         }
-        out.push_str("}}");
+        out.push_str("]}");
     }
     out.push_str("]}");
     out
+}
+
+/// Serialises Figure 4 runs (packets per resolution) as one line of JSON
+/// on the shape `{"experiment": …, "resolutions": …, "rows": [{…}, …]}`.
+pub fn fig4_json(resolutions: u16, runs: &[CellRun]) -> String {
+    let mut out = String::from("{\"experiment\": \"fig4_packets_per_resolution\", ");
+    out.push_str(&format!("\"resolutions\": {resolutions}, \"rows\": ["));
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_cell_prefix(&mut out, run);
+        out.push_str(&format!(
+            ", \"packets_per_resolution\": {:.2}, \"bytes_per_packet\": {:.2}}}",
+            run.packets_per_resolution,
+            run.bytes_per_resolution / run.packets_per_resolution.max(1.0),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serialises Figure 5 runs (per-layer byte breakdown) as one line of
+/// JSON on the shape `{"experiment": …, "resolutions": …, "rows": […]}`.
+pub fn fig5_json(resolutions: u16, runs: &[CellRun]) -> String {
+    let mut out = String::from("{\"experiment\": \"fig5_layer_breakdown\", ");
+    out.push_str(&format!("\"resolutions\": {resolutions}, \"rows\": ["));
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_cell_prefix(&mut out, run);
+        out.push_str(&format!(", \"bytes_per_resolution\": {:.2}, ", run.bytes_per_resolution));
+        push_layers(&mut out, run);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parameters of one fleet run: `clients` stub resolvers sharing one
+/// caching recursive resolver (over the `transport` cell) which fetches
+/// cache misses from a plain-Do53 authoritative upstream.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The stub-to-recursive transport cell.
+    pub transport: TransportConfig,
+    /// Number of stub clients, each on its own host.
+    pub clients: usize,
+    /// Queries each client issues (Poisson arrivals).
+    pub queries_per_client: usize,
+    /// Size of the shared Zipf name universe — the knob that sets the
+    /// cache-hit ratio for a fixed query count.
+    pub universe: usize,
+    /// Zipf popularity exponent.
+    pub exponent: f64,
+    /// Resolver cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Mean per-client gap between queries.
+    pub mean_gap: SimDuration,
+}
+
+impl FleetConfig {
+    /// A fleet cell with the defaults the experiments use: 2 queries per
+    /// client, Zipf exponent 1.0, a cache big enough to never evict and a
+    /// 200 ms mean per-client gap.
+    pub fn new(transport: TransportConfig, clients: usize, universe: usize) -> FleetConfig {
+        FleetConfig {
+            transport,
+            clients,
+            queries_per_client: 2,
+            universe,
+            exponent: 1.0,
+            cache_capacity: 1 << 16,
+            mean_gap: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// Aggregated result of one (fleet cell × seed) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRun {
+    /// Human-readable transport-cell label.
+    pub label: String,
+    /// Transport label (`do53` / `dot` / `doh-h1` / `doh-h2`).
+    pub transport: String,
+    /// Reuse mode (`fresh` / `persistent`).
+    pub reuse: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Fleet size.
+    pub clients: usize,
+    /// Total resolutions driven.
+    pub queries: usize,
+    /// Zipf universe size the names were drawn from.
+    pub universe: usize,
+    /// Distinct names actually queried — the compulsory-miss floor.
+    pub distinct_names: usize,
+    /// Cache hits (positive + negative) at the recursive resolver.
+    pub cache_hits: u64,
+    /// Cache misses at the recursive resolver.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`.
+    pub hit_ratio: f64,
+    /// Upstream fetches the resolver issued (after coalescing).
+    pub upstream_queries: u64,
+    /// Bytes spent on the resolver-to-upstream leg (payload + IP/UDP
+    /// headers, both directions).
+    pub upstream_bytes: u64,
+    /// All bytes the simulation put on any wire.
+    pub total_bytes: u64,
+    /// `total_bytes / queries` — the figure the cache-hit experiment
+    /// plots against `hit_ratio`.
+    pub bytes_per_resolution: f64,
+    /// Bytes per resolution on the stub-to-recursive leg only.
+    pub stub_bytes_per_resolution: f64,
+}
+
+/// Drives one fleet cell: builds `clients` stub hosts around a single
+/// recursive resolver (shared cache, Do53 upstream with a synthetic
+/// authoritative [`Zone`]), registers everything in a [`Driver`] for
+/// addressed wake routing, and resolves a seeded [`FleetSchedule`] with
+/// globally unique transaction ids. Deterministic in `seed`.
+pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> FleetRun {
+    let total = cfg.clients * cfg.queries_per_client;
+    assert!(total < usize::from(u16::MAX), "transaction ids are u16");
+
+    let mut sim = Sim::new(seed);
+    let resolver = sim.add_host("resolver");
+    let upstream = sim.add_host("upstream");
+    sim.add_link(resolver, upstream, cfg.transport.link);
+
+    let zone = Name::parse("dohmark.test").unwrap();
+    let mut driver = Driver::new();
+    let upstream_cfg = TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh);
+    driver.register(&mut sim, |sim| {
+        let backend =
+            ServerBackend::Authoritative(Zone::synth(zone.clone(), cfg.transport.ttl, 60));
+        upstream_cfg.build_server_with(sim, upstream, backend)
+    });
+    driver.register(&mut sim, |sim| {
+        let recursive = RecursiveResolver::new(sim, resolver, (upstream, 53), cfg.cache_capacity);
+        cfg.transport.build_server_with(sim, resolver, ServerBackend::Recursive(recursive))
+    });
+    let clients: Vec<_> = (0..cfg.clients)
+        .map(|i| {
+            let stub = sim.add_host(&format!("stub{i}"));
+            sim.add_link(stub, resolver, cfg.transport.link);
+            driver.register_resolver(&mut sim, |_| cfg.transport.build_client(stub, resolver))
+        })
+        .collect();
+
+    let mut rng = sim.split_rng(WORKLOAD_STREAM);
+    let schedule = FleetSchedule::generate(
+        &mut rng,
+        cfg.clients,
+        cfg.mean_gap,
+        cfg.queries_per_client,
+        &zone,
+        cfg.universe,
+        cfg.exponent,
+    );
+    let distinct_names = schedule.distinct_names();
+    for (i, (at, client, name)) in schedule.queries.iter().enumerate() {
+        driver.advance_until(&mut sim, *at);
+        let txn = i as u16 + 1;
+        let response = driver.resolve(&mut sim, clients[*client], name, txn).unwrap_or_else(|| {
+            panic!("{} seed {seed} txn {txn} did not resolve", cfg.transport.label())
+        });
+        assert_eq!(response.header.id, txn);
+    }
+    for &client in &clients {
+        driver.close(&mut sim, client);
+    }
+    driver.run_until_quiescent(&mut sim);
+
+    let cache_hits = sim.meter.counter("cache_hit") + sim.meter.counter("cache_negative_hit");
+    let cache_misses = sim.meter.counter("cache_miss");
+    let upstream_bytes = sim.meter.counter("upstream_bytes");
+    let total_bytes = sim.meter.total().bytes;
+    let n = total as f64;
+    FleetRun {
+        label: cfg.transport.label(),
+        transport: cfg.transport.kind.label().to_string(),
+        reuse: cfg.transport.reuse.label().to_string(),
+        seed,
+        clients: cfg.clients,
+        queries: total,
+        universe: cfg.universe,
+        distinct_names,
+        cache_hits,
+        cache_misses,
+        hit_ratio: cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64,
+        upstream_queries: sim.meter.counter("upstream_queries"),
+        upstream_bytes,
+        total_bytes,
+        bytes_per_resolution: total_bytes as f64 / n,
+        stub_bytes_per_resolution: total_bytes.saturating_sub(upstream_bytes) as f64 / n,
+    }
+}
+
+/// Serialises cache-hit-cost runs as one line of JSON on the shape
+/// `{"experiment": "fig_cache_hit_cost", "clients": …, "rows": […]}` —
+/// each row pairs a transport cell's `hit_ratio` with its
+/// `bytes_per_resolution`, the relation the experiment plots.
+pub fn fig_cache_hit_cost_json(runs: &[FleetRun]) -> String {
+    let mut out = String::from("{\"experiment\": \"fig_cache_hit_cost\", \"rows\": [");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"cell\": ");
+        dohmark::dns::jsontext::write_escaped(&mut out, &run.label);
+        out.push_str(&format!(
+            ", \"transport\": \"{}\", \"reuse\": \"{}\", \"seed\": {}, \"clients\": {}, \
+             \"queries\": {}, \"universe\": {}, \"distinct_names\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"hit_ratio\": {:.4}, \"upstream_queries\": {}, \
+             \"upstream_bytes\": {}, \"total_bytes\": {}, \"bytes_per_resolution\": {:.2}, \
+             \"stub_bytes_per_resolution\": {:.2}}}",
+            run.transport,
+            run.reuse,
+            run.seed,
+            run.clients,
+            run.queries,
+            run.universe,
+            run.distinct_names,
+            run.cache_hits,
+            run.cache_misses,
+            run.hit_ratio,
+            run.upstream_queries,
+            run.upstream_bytes,
+            run.total_bytes,
+            run.bytes_per_resolution,
+            run.stub_bytes_per_resolution,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The four transport cells the fleet experiments sweep: Do53 plus the
+/// three encrypted transports on persistent connections (the deployment
+/// shape a stub keeps to its recursive resolver).
+pub fn fleet_transports() -> Vec<TransportConfig> {
+    vec![
+        TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh),
+        TransportConfig::new(TransportKind::Dot, ReusePolicy::Persistent),
+        TransportConfig::new(TransportKind::DohH1, ReusePolicy::Persistent),
+        TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent),
+    ]
 }
 
 #[cfg(test)]
@@ -162,6 +434,44 @@ mod tests {
         for key in ["body", "hdr", "mgmt", "tls", "tcp", "dns"] {
             assert!(layers.get(key).is_some(), "missing layer {key}");
         }
+        assert!(
+            row.get("steady_bytes_per_resolution").is_some(),
+            "missing steady_bytes_per_resolution"
+        );
+        let headers = row
+            .get("header_bytes_per_query")
+            .and_then(|v| v.as_array())
+            .expect("header_bytes_per_query array");
+        assert_eq!(headers.len(), 3, "one header-bytes entry per query");
+        assert!(headers[0].as_u64().unwrap() > 0, "doh-h2 queries carry header bytes");
+    }
+
+    #[test]
+    fn fig4_and_fig5_json_are_valid_jsontext_with_their_expected_shapes() {
+        let cfg = TransportConfig::new(TransportKind::Dot, ReusePolicy::Fresh);
+        let runs = [run_matrix_cell(&cfg, 3, 3)];
+
+        let fig4 = fig4_json(3, &runs);
+        assert!(!fig4.contains('\n'));
+        let parsed = jsontext::parse(&fig4).expect("fig4 output must parse");
+        assert_eq!(
+            parsed.get("experiment").and_then(|v| v.as_str()),
+            Some("fig4_packets_per_resolution")
+        );
+        let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].get("packets_per_resolution").is_some());
+        assert!(rows[0].get("bytes_per_packet").is_some());
+
+        let fig5 = fig5_json(3, &runs);
+        assert!(!fig5.contains('\n'));
+        let parsed = jsontext::parse(&fig5).expect("fig5 output must parse");
+        assert_eq!(parsed.get("experiment").and_then(|v| v.as_str()), Some("fig5_layer_breakdown"));
+        let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
+        let layers = rows[0].get("layers").expect("layers object");
+        for key in ["body", "hdr", "mgmt", "tls", "tcp", "dns"] {
+            assert!(layers.get(key).is_some(), "missing layer {key}");
+        }
     }
 
     #[test]
@@ -172,5 +482,65 @@ mod tests {
             run_matrix_cell(&cfg, 9, 4).bytes_per_resolution,
             run_matrix_cell(&cfg, 10, 4).bytes_per_resolution
         );
+    }
+
+    #[test]
+    fn smaller_universe_means_higher_hit_ratio_and_fewer_bytes() {
+        for transport in [
+            TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh),
+            TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent),
+        ] {
+            let broad = run_fleet_cell(&FleetConfig::new(transport.clone(), 24, 500), 5);
+            let narrow = run_fleet_cell(&FleetConfig::new(transport, 24, 4), 5);
+            assert_eq!(broad.queries, 48);
+            assert_eq!(broad.cache_hits + broad.cache_misses, 48);
+            assert!(
+                narrow.hit_ratio > broad.hit_ratio,
+                "narrow universe must hit more: {} vs {}",
+                narrow.hit_ratio,
+                broad.hit_ratio
+            );
+            assert!(
+                narrow.bytes_per_resolution < broad.bytes_per_resolution,
+                "cache hits must save wire bytes: {} vs {}",
+                narrow.bytes_per_resolution,
+                broad.bytes_per_resolution
+            );
+            assert!(narrow.upstream_queries <= 4 + 1, "at most one fetch per distinct name");
+        }
+    }
+
+    #[test]
+    fn fig_cache_hit_cost_json_is_valid_jsontext_with_the_expected_shape() {
+        let cfg = TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh);
+        let runs = [
+            run_fleet_cell(&FleetConfig::new(cfg.clone(), 10, 100), 1),
+            run_fleet_cell(&FleetConfig::new(cfg, 10, 3), 1),
+        ];
+        let doc = fig_cache_hit_cost_json(&runs);
+        assert!(!doc.contains('\n'), "one line of JSON");
+        let parsed = jsontext::parse(&doc).expect("harness output must parse");
+        assert_eq!(parsed.get("experiment").and_then(|v| v.as_str()), Some("fig_cache_hit_cost"));
+        let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            for key in [
+                "cell",
+                "transport",
+                "universe",
+                "distinct_names",
+                "cache_hits",
+                "cache_misses",
+                "hit_ratio",
+                "upstream_queries",
+                "upstream_bytes",
+                "bytes_per_resolution",
+                "stub_bytes_per_resolution",
+            ] {
+                assert!(row.get(key).is_some(), "missing key {key}");
+            }
+        }
+        assert_eq!(rows[0].get("universe").and_then(|v| v.as_u64()), Some(100));
+        assert_eq!(rows[1].get("universe").and_then(|v| v.as_u64()), Some(3));
     }
 }

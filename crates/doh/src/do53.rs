@@ -8,29 +8,61 @@
 //! [`LayerTag::DnsPayload`](dohmark_netsim::LayerTag) and attributed to the
 //! DNS transaction id.
 
+use crate::resolver::ServerBackend;
 use crate::{Endpoint, Resolver};
 use dohmark_dns_wire::{Message, Name, RecordType};
 use dohmark_netsim::{HostId, LayerTag, Sim, SockId, Wake};
 use std::net::Ipv4Addr;
 
-/// A stub resolver answering every query with one fixed A record.
+/// A Do53 server answering from a pluggable [`ServerBackend`] —
+/// authoritative zone data or a shared caching recursive resolver.
 #[derive(Debug)]
 pub struct Do53Server {
     sock: SockId,
-    answer: Ipv4Addr,
-    ttl: u32,
+    backend: ServerBackend,
+}
+
+/// Packs a parked query's return address into a waiter token: Do53 needs
+/// no table — the token *is* the `(host, port)` pair.
+fn waiter_token(host: HostId, port: u16) -> u64 {
+    ((host.0 as u64) << 16) | u64::from(port)
+}
+
+fn waiter_addr(token: u64) -> (HostId, u16) {
+    (HostId((token >> 16) as usize), (token & 0xFFFF) as u16)
 }
 
 impl Do53Server {
-    /// Binds the server on `(host, port)`; answers carry `answer`/`ttl`.
+    /// Binds the server on `(host, port)` answering every query with one
+    /// fixed A record `answer`/`ttl` — the paper's §3 echo resolver.
     pub fn bind(sim: &mut Sim, host: HostId, port: u16, answer: Ipv4Addr, ttl: u32) -> Do53Server {
+        Do53Server::bind_with(sim, host, port, ServerBackend::fixed(answer, ttl))
+    }
+
+    /// Binds the server on `(host, port)` answering from `backend`.
+    pub fn bind_with(sim: &mut Sim, host: HostId, port: u16, backend: ServerBackend) -> Do53Server {
         let sock = sim.udp_bind(host, port);
-        Do53Server { sock, answer, ttl }
+        Do53Server { sock, backend }
+    }
+
+    /// The backend's cache statistics, if it has a cache.
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.backend.cache_stats()
+    }
+
+    fn send_response(&mut self, sim: &mut Sim, dst: (HostId, u16), response: &Message) {
+        sim.set_attr(u32::from(response.header.id));
+        sim.udp_send(self.sock, dst, LayerTag::DnsPayload, response.encode());
     }
 }
 
 impl Endpoint for Do53Server {
     fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        // Upstream completions first: a recursive backend may have parked
+        // queries waiting on the wake we are handling.
+        for (waiter, response) in self.backend.poll(sim, wake) {
+            self.send_response(sim, waiter_addr(waiter), &response);
+        }
         let Wake::UdpReadable { sock, .. } = wake else { return };
         if *sock != self.sock {
             return;
@@ -39,9 +71,10 @@ impl Endpoint for Do53Server {
             // Corrupted datagrams that no longer parse are dropped, exactly
             // like a real resolver would drop them.
             let Ok(query) = Message::decode(&data) else { continue };
-            let response = Message::fixed_a_response(&query, self.answer, self.ttl);
-            sim.set_attr(u32::from(query.header.id));
-            sim.udp_send(self.sock, (src_host, src_port), LayerTag::DnsPayload, response.encode());
+            let waiter = waiter_token(src_host, src_port);
+            if let Some(response) = self.backend.answer(sim, &query, waiter) {
+                self.send_response(sim, (src_host, src_port), &response);
+            }
         }
     }
 }

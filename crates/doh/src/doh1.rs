@@ -14,13 +14,14 @@
 //! [`LayerTag::HttpBody`], TLS record framing `Tls` — the paper's "Hdr" /
 //! "Body" / "TLS" split.
 
+use crate::resolver::ServerBackend;
 use crate::tls_stream::TlsStream;
 use crate::{Endpoint, Resolver, ReusePolicy};
 use dohmark_dns_wire::{Message, Name, RecordType};
 use dohmark_httpsim::h1::{Request, RequestParser, Response, ResponseParser};
 use dohmark_netsim::{HostId, LayerTag, ListenerId, Side, Sim, TcpHandle, Wake};
 use dohmark_tls_model::TlsConfig;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 /// The RFC 8484 media type.
@@ -219,21 +220,32 @@ impl Endpoint for DohH1Client {
 struct H1ServerConn {
     tls: TlsStream,
     parser: RequestParser,
+    /// Waiter tokens of requests in arrival order — HTTP/1.1 has no
+    /// stream multiplexing, so responses must go out in request order
+    /// even when a later request's answer (a cache hit) is ready before
+    /// an earlier one's (parked on an upstream fetch): real h1
+    /// head-of-line blocking.
+    pipeline: VecDeque<u64>,
 }
 
-/// A DoH/1.1 server answering every well-formed query with one fixed A
-/// record.
+/// A DoH/1.1 server answering from a pluggable [`ServerBackend`] —
+/// authoritative zone data or a shared caching recursive resolver.
 #[derive(Debug)]
 pub struct DohH1Server {
     listener: ListenerId,
     tls_cfg: TlsConfig,
-    answer: Ipv4Addr,
-    ttl: u32,
+    backend: ServerBackend,
     conns: HashMap<TcpHandle, H1ServerConn>,
+    /// Parked queries: waiter token → the connection expecting the answer.
+    waiters: HashMap<u64, TcpHandle>,
+    /// Responses ready to send, held until their turn in the pipeline.
+    ready: HashMap<u64, Message>,
+    next_waiter: u64,
 }
 
 impl DohH1Server {
-    /// Listens on `(host, port)`; answers carry `answer`/`ttl`.
+    /// Listens on `(host, port)` answering every query with one fixed A
+    /// record `answer`/`ttl`.
     pub fn bind(
         sim: &mut Sim,
         host: HostId,
@@ -242,18 +254,74 @@ impl DohH1Server {
         answer: Ipv4Addr,
         ttl: u32,
     ) -> DohH1Server {
+        DohH1Server::bind_with(sim, host, port, tls_cfg, ServerBackend::fixed(answer, ttl))
+    }
+
+    /// Listens on `(host, port)` answering from `backend`.
+    pub fn bind_with(
+        sim: &mut Sim,
+        host: HostId,
+        port: u16,
+        tls_cfg: TlsConfig,
+        backend: ServerBackend,
+    ) -> DohH1Server {
         let listener = sim.tcp_listen(host, port);
-        DohH1Server { listener, tls_cfg, answer, ttl, conns: HashMap::new() }
+        DohH1Server {
+            listener,
+            tls_cfg,
+            backend,
+            conns: HashMap::new(),
+            waiters: HashMap::new(),
+            ready: HashMap::new(),
+            next_waiter: 1,
+        }
     }
 
     /// Established-and-open connection count (for tests and reports).
     pub fn open_connections(&self) -> usize {
         self.conns.len()
     }
+
+    /// The backend's cache statistics, if it has a cache.
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.backend.cache_stats()
+    }
+
+    /// Sends `handle`'s ready responses, in request order, stopping at the
+    /// first whose answer is still pending (h1 head-of-line blocking).
+    fn flush_conn(&mut self, sim: &mut Sim, handle: TcpHandle) {
+        let Some(conn) = self.conns.get_mut(&handle) else { return };
+        while let Some(&waiter) = conn.pipeline.front() {
+            let Some(response) = self.ready.remove(&waiter) else { break };
+            conn.pipeline.pop_front();
+            let encoded = doh_response(response.encode()).encode();
+            conn.tls.send_segments(
+                sim,
+                u32::from(response.header.id),
+                &[(LayerTag::HttpHeader, &encoded.head), (LayerTag::HttpBody, &encoded.body)],
+            );
+        }
+    }
 }
 
 impl Endpoint for DohH1Server {
     fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        // Upstream completions first: queue each answer at its pipeline
+        // slot, then flush whatever became sendable.
+        let completed = self.backend.poll(sim, wake);
+        if !completed.is_empty() {
+            let mut touched = Vec::new();
+            for (waiter, response) in completed {
+                let Some(handle) = self.waiters.remove(&waiter) else { continue };
+                self.ready.insert(waiter, response);
+                if !touched.contains(&handle) {
+                    touched.push(handle);
+                }
+            }
+            for handle in touched {
+                self.flush_conn(sim, handle);
+            }
+        }
         match *wake {
             Wake::TcpAccepted { listener, conn: handle, .. } if listener == self.listener => {
                 let attr = sim.attr();
@@ -262,6 +330,7 @@ impl Endpoint for DohH1Server {
                     H1ServerConn {
                         tls: TlsStream::new(handle, &self.tls_cfg, attr),
                         parser: RequestParser::new(),
+                        pipeline: VecDeque::new(),
                     },
                 );
             }
@@ -270,21 +339,28 @@ impl Endpoint for DohH1Server {
                 let data = sim.tcp_recv(handle);
                 let plaintext = conn.tls.advance(sim, &data);
                 conn.parser.push(&plaintext);
+                let mut queries = Vec::new();
                 while let Ok(Some(request)) = conn.parser.next_request() {
                     // Requests whose body is not a DNS message are dropped,
                     // like a resolver answering 400 we never retry on.
                     let Ok(query) = Message::decode(&request.body) else { continue };
-                    let response = Message::fixed_a_response(&query, self.answer, self.ttl);
-                    let encoded = doh_response(response.encode()).encode();
-                    conn.tls.send_segments(
-                        sim,
-                        u32::from(query.header.id),
-                        &[
-                            (LayerTag::HttpHeader, &encoded.head),
-                            (LayerTag::HttpBody, &encoded.body),
-                        ],
-                    );
+                    queries.push(query);
                 }
+                for query in queries {
+                    let waiter = self.next_waiter;
+                    self.next_waiter += 1;
+                    let conn = self.conns.get_mut(&handle).expect("conn is live");
+                    conn.pipeline.push_back(waiter);
+                    match self.backend.answer(sim, &query, waiter) {
+                        Some(response) => {
+                            self.ready.insert(waiter, response);
+                        }
+                        None => {
+                            self.waiters.insert(waiter, handle);
+                        }
+                    }
+                }
+                self.flush_conn(sim, handle);
             }
             Wake::TcpFin { conn: handle, .. }
                 if handle.side == Side::Server && self.conns.remove(&handle).is_some() =>

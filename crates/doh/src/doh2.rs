@@ -18,6 +18,7 @@
 //! * Graceful teardown sends GOAWAY (NO_ERROR) before the FIN, as real
 //!   clients do; fresh connections do this after every response.
 
+use crate::resolver::ServerBackend;
 use crate::tls_stream::TlsStream;
 use crate::{Endpoint, Resolver, ReusePolicy};
 use dohmark_dns_wire::{Message, Name, RecordType};
@@ -360,15 +361,19 @@ impl Endpoint for DohH2Client {
     }
 }
 
-/// A DoH/2 server answering every well-formed query with one fixed A
-/// record.
+/// A DoH/2 server answering from a pluggable [`ServerBackend`] —
+/// authoritative zone data or a shared caching recursive resolver.
 #[derive(Debug)]
 pub struct DohH2Server {
     listener: ListenerId,
     tls_cfg: TlsConfig,
-    answer: Ipv4Addr,
-    ttl: u32,
+    backend: ServerBackend,
     conns: HashMap<TcpHandle, H2ServerConn>,
+    /// Parked queries: waiter token → (connection, stream) expecting the
+    /// answer. Streams multiplex, so — unlike h1 — a parked stream never
+    /// blocks a cache hit on another stream of the same connection.
+    waiters: HashMap<u64, (TcpHandle, u32)>,
+    next_waiter: u64,
 }
 
 /// Server-side connection: shared h2 state plus preface stripping.
@@ -380,7 +385,8 @@ struct H2ServerConn {
 }
 
 impl DohH2Server {
-    /// Listens on `(host, port)`; answers carry `answer`/`ttl`.
+    /// Listens on `(host, port)` answering every query with one fixed A
+    /// record `answer`/`ttl`.
     pub fn bind(
         sim: &mut Sim,
         host: HostId,
@@ -389,18 +395,62 @@ impl DohH2Server {
         answer: Ipv4Addr,
         ttl: u32,
     ) -> DohH2Server {
+        DohH2Server::bind_with(sim, host, port, tls_cfg, ServerBackend::fixed(answer, ttl))
+    }
+
+    /// Listens on `(host, port)` answering from `backend`.
+    pub fn bind_with(
+        sim: &mut Sim,
+        host: HostId,
+        port: u16,
+        tls_cfg: TlsConfig,
+        backend: ServerBackend,
+    ) -> DohH2Server {
         let listener = sim.tcp_listen(host, port);
-        DohH2Server { listener, tls_cfg, answer, ttl, conns: HashMap::new() }
+        DohH2Server {
+            listener,
+            tls_cfg,
+            backend,
+            conns: HashMap::new(),
+            waiters: HashMap::new(),
+            next_waiter: 1,
+        }
     }
 
     /// Established-and-open connection count (for tests and reports).
     pub fn open_connections(&self) -> usize {
         self.conns.len()
     }
+
+    /// The backend's cache statistics, if it has a cache.
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.backend.cache_stats()
+    }
+
+    /// Sends `response` on `stream_id` of `handle` with 200 headers,
+    /// charged to the response's transaction id.
+    fn send_response(conn: &mut H2ServerConn, sim: &mut Sim, stream_id: u32, response: &Message) {
+        let body = response.encode();
+        let headers = owned(&[
+            (":status", "200"),
+            ("content-type", DNS_MESSAGE),
+            ("content-length", &body.len().to_string()),
+            ("server", "dohmark"),
+        ]);
+        conn.h2.send_message(sim, stream_id, &headers, body, u32::from(response.header.id));
+    }
 }
 
 impl Endpoint for DohH2Server {
     fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        // Upstream completions first: each answer goes out on the stream
+        // its query arrived on (dropped if the connection is gone).
+        for (waiter, response) in self.backend.poll(sim, wake) {
+            let Some((handle, stream_id)) = self.waiters.remove(&waiter) else { continue };
+            if let Some(conn) = self.conns.get_mut(&handle) {
+                DohH2Server::send_response(conn, sim, stream_id, &response);
+            }
+        }
         match *wake {
             Wake::TcpAccepted { listener, conn: handle, .. } if listener == self.listener => {
                 let attr = sim.attr();
@@ -429,22 +479,18 @@ impl Endpoint for DohH2Server {
                 }
                 let (queries, _) = conn.h2.ingest(sim, &plaintext[skip..]);
                 for (stream_id, query) in queries {
-                    let response = Message::fixed_a_response(&query, self.answer, self.ttl);
-                    let body = response.encode();
-                    let headers = owned(&[
-                        (":status", "200"),
-                        ("content-type", DNS_MESSAGE),
-                        ("content-length", &body.len().to_string()),
-                        ("server", "dohmark"),
-                    ]);
-                    // Respond on the stream the query arrived on.
-                    conn.h2.send_message(
-                        sim,
-                        stream_id,
-                        &headers,
-                        body,
-                        u32::from(query.header.id),
-                    );
+                    let waiter = self.next_waiter;
+                    self.next_waiter += 1;
+                    match self.backend.answer(sim, &query, waiter) {
+                        Some(response) => {
+                            let conn = self.conns.get_mut(&handle).expect("conn is live");
+                            // Respond on the stream the query arrived on.
+                            DohH2Server::send_response(conn, sim, stream_id, &response);
+                        }
+                        None => {
+                            self.waiters.insert(waiter, (handle, stream_id));
+                        }
+                    }
                 }
             }
             Wake::TcpFin { conn: handle, .. }

@@ -18,6 +18,7 @@
 //! one long-lived connection ([`ReusePolicy::Persistent`], which amortises
 //! the handshake to near-zero per-resolution overhead).
 
+use crate::resolver::ServerBackend;
 use crate::tls_stream::TlsStream;
 use crate::{Endpoint, Resolver};
 use dohmark_dns_wire::{Message, Name, RecordType};
@@ -247,20 +248,23 @@ impl Endpoint for DotClient {
     }
 }
 
-/// A DoT server answering every query with one fixed A record.
+/// A DoT server answering from a pluggable [`ServerBackend`] —
+/// authoritative zone data or a shared caching recursive resolver.
 #[derive(Debug)]
 pub struct DotServer {
     listener: ListenerId,
     tls_cfg: TlsConfig,
-    answer: Ipv4Addr,
-    ttl: u32,
+    backend: ServerBackend,
     conns: HashMap<TcpHandle, DotConn>,
+    /// Parked queries: waiter token → the connection expecting the answer.
+    waiters: HashMap<u64, TcpHandle>,
+    next_waiter: u64,
 }
 
 impl DotServer {
-    /// Listens on `(host, port)`; answers carry `answer`/`ttl`. The TLS
-    /// config must match the clients' (both ends of the byte model derive
-    /// flight sizes from it).
+    /// Listens on `(host, port)` answering every query with one fixed A
+    /// record `answer`/`ttl`. The TLS config must match the clients' (both
+    /// ends of the byte model derive flight sizes from it).
     pub fn bind(
         sim: &mut Sim,
         host: HostId,
@@ -269,18 +273,51 @@ impl DotServer {
         answer: Ipv4Addr,
         ttl: u32,
     ) -> DotServer {
+        DotServer::bind_with(sim, host, port, tls_cfg, ServerBackend::fixed(answer, ttl))
+    }
+
+    /// Listens on `(host, port)` answering from `backend`.
+    pub fn bind_with(
+        sim: &mut Sim,
+        host: HostId,
+        port: u16,
+        tls_cfg: TlsConfig,
+        backend: ServerBackend,
+    ) -> DotServer {
         let listener = sim.tcp_listen(host, port);
-        DotServer { listener, tls_cfg, answer, ttl, conns: HashMap::new() }
+        DotServer {
+            listener,
+            tls_cfg,
+            backend,
+            conns: HashMap::new(),
+            waiters: HashMap::new(),
+            next_waiter: 1,
+        }
     }
 
     /// Established-and-open connection count (for tests and reports).
     pub fn open_connections(&self) -> usize {
         self.conns.len()
     }
+
+    /// The backend's cache statistics, if it has a cache.
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.backend.cache_stats()
+    }
 }
 
 impl Endpoint for DotServer {
     fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
+        // Upstream completions first: answers for queries parked by a
+        // recursive backend go out on the connection they arrived on
+        // (silently dropped if that connection is gone — like a real
+        // resolver whose client hung up mid-recursion).
+        for (waiter, response) in self.backend.poll(sim, wake) {
+            let Some(handle) = self.waiters.remove(&waiter) else { continue };
+            if let Some(conn) = self.conns.get_mut(&handle) {
+                conn.send_message(sim, &response, u32::from(response.header.id));
+            }
+        }
         match *wake {
             Wake::TcpAccepted { listener, conn: handle, .. } if listener == self.listener => {
                 // Setup bytes we send are charged to whatever attribution
@@ -293,8 +330,17 @@ impl Endpoint for DotServer {
                 let Some(conn) = self.conns.get_mut(&handle) else { return };
                 let data = sim.tcp_recv(handle);
                 for query in conn.advance(sim, &data) {
-                    let response = Message::fixed_a_response(&query, self.answer, self.ttl);
-                    conn.send_message(sim, &response, u32::from(query.header.id));
+                    let waiter = self.next_waiter;
+                    self.next_waiter += 1;
+                    match self.backend.answer(sim, &query, waiter) {
+                        Some(response) => {
+                            let conn = self.conns.get_mut(&handle).expect("conn is live");
+                            conn.send_message(sim, &response, u32::from(query.header.id));
+                        }
+                        None => {
+                            self.waiters.insert(waiter, handle);
+                        }
+                    }
                 }
             }
             Wake::TcpFin { conn: handle, .. }

@@ -22,27 +22,53 @@
 //!   on a persistent connection the dynamic table shrinks header bytes
 //!   after the first query, exactly the effect the paper measures.
 //!
-//! # The unified transport API
+//! # The unified transport API: a registry with addressed wake routing
 //!
 //! Every client implements [`Resolver`] and every server [`Endpoint`], so
 //! experiments iterate over [`TransportConfig`]s instead of naming
-//! concrete types: [`build_pair`] turns a config — transport kind ×
-//! [`ReusePolicy`] × TLS resumption — into a boxed client/server pair on a
-//! fresh two-host topology. The concrete types remain available for
-//! custom topologies.
+//! concrete types. Endpoints live in a [`Driver`] registry: each is
+//! registered under an [`EndpointId`], the netsim layer stamps every
+//! socket/connection/timer the endpoint creates with that id, and the
+//! driver routes each wake **only to its owner** — O(1) dispatch that
+//! scales from the original echo pair to thousand-client topologies.
+//! [`TransportConfig::build_server`] / [`TransportConfig::build_client`]
+//! are the factories to register:
 //!
 //! ```
 //! use dohmark_dns_wire::Name;
-//! use dohmark_doh::{build_pair, resolve_with, ReusePolicy, TransportConfig, TransportKind};
+//! use dohmark_doh::{Driver, ReusePolicy, TransportConfig, TransportKind};
 //! use dohmark_netsim::Sim;
 //!
 //! let mut sim = Sim::new(42);
 //! let cfg = TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent);
-//! let (mut client, mut server) = build_pair(&mut sim, &cfg);
+//! let stub = sim.add_host("stub");
+//! let resolver = sim.add_host("resolver");
+//! sim.add_link(stub, resolver, cfg.link);
+//! let mut driver = Driver::new();
+//! let _server = driver.register(&mut sim, |sim| cfg.build_server(sim, resolver));
+//! let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
 //! let name = Name::parse("example.com").unwrap();
-//! let response = resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, 1).unwrap();
+//! let response = driver.resolve(&mut sim, client, &name, 1).unwrap();
 //! assert_eq!(response.answers.len(), 1);
 //! ```
+//!
+//! The pre-registry entry points remain: [`build_pair`] constructs an
+//! unregistered boxed client/server pair and [`resolve_with`] /
+//! [`drain_endpoints`] / [`advance_endpoints_until`] drive it by
+//! *broadcasting* every wake to every endpoint. They are thin wrappers
+//! over the same event-pump machinery the driver uses, so both dispatch
+//! models stay semantically aligned; broadcast is O(endpoints) per wake
+//! and fine for the two-endpoint topologies it serves.
+//!
+//! # Servers answer from pluggable backends
+//!
+//! Every transport server answers from a [`ServerBackend`]: the classic
+//! `bind(...)` constructors keep the paper's fixed-echo behaviour
+//! ([`Zone::fixed`]), while `bind_with(...)` accepts a synthetic
+//! authoritative [`Zone`] or a [`RecursiveResolver`] — a TTL-driven
+//! positive/negative cache (RFC 2308) shared by all client sessions of
+//! that server, fetching misses from a Do53 upstream and exposing
+//! hit/miss counters through the cost meter.
 //!
 //! # Attribution
 //!
@@ -58,18 +84,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod do53;
 pub mod doh1;
 pub mod doh2;
 pub mod dot;
+mod driver;
+pub mod resolver;
 mod tls_stream;
 mod transport;
+pub mod zone;
 
+pub use cache::{CacheStats, DnsCache};
 pub use do53::{Do53Client, Do53Server};
 pub use doh1::{DohH1Client, DohH1Server};
 pub use doh2::{DohH2Client, DohH2Server};
 pub use dot::{DotClient, DotServer, ReusePolicy};
+pub use driver::{Driver, EndpointId};
+pub use resolver::{RecursiveResolver, ServerBackend};
 pub use transport::{build_pair, build_pair_on, TransportConfig, TransportKind};
+pub use zone::Zone;
 
 use dohmark_dns_wire::{Message, Name};
 use dohmark_netsim::{Sim, SimTime, Wake};
@@ -137,29 +171,16 @@ pub fn resolve_with_extras(
     name: &Name,
     id: u16,
 ) -> Option<Message> {
-    client.send_query(sim, name, id);
-    loop {
-        if let Some(response) = client.take_response(id) {
-            return Some(response);
-        }
-        let wake = sim.next_wake()?;
-        client.on_wake(sim, &wake);
-        peer.on_wake(sim, &wake);
-        for endpoint in extras.iter_mut() {
-            endpoint.on_wake(sim, &wake);
-        }
-    }
+    let mut route = driver::Broadcast { first: Some(peer), rest: extras };
+    driver::resolve_routed(sim, client, &mut route, name, id)
 }
 
 /// Runs the simulation to quiescence, dispatching every wake to all
 /// `endpoints` — unlike [`Sim::drain`], which discards wakes, so teardown
 /// traffic (FINs) still reaches the endpoints' state machines.
 pub fn drain_endpoints(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint]) {
-    while let Some(wake) = sim.next_wake() {
-        for endpoint in endpoints.iter_mut() {
-            endpoint.on_wake(sim, &wake);
-        }
-    }
+    let mut route = driver::Broadcast { first: None, rest: endpoints };
+    driver::drain_routed(sim, &mut route);
 }
 
 /// Token [`advance_endpoints_until`] reserves for its internal timer;
@@ -170,13 +191,6 @@ pub const ADVANCE_TOKEN: u64 = u64::MAX;
 /// the way (leftover ACKs, FIN teardown, late responses) to all
 /// `endpoints` — the idle time between two workload arrivals.
 pub fn advance_endpoints_until(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint], at: SimTime) {
-    sim.schedule_app(at, ADVANCE_TOKEN);
-    while let Some(wake) = sim.next_wake() {
-        if matches!(wake, Wake::AppTimer { token, .. } if token == ADVANCE_TOKEN) {
-            return;
-        }
-        for endpoint in endpoints.iter_mut() {
-            endpoint.on_wake(sim, &wake);
-        }
-    }
+    let mut route = driver::Broadcast { first: None, rest: endpoints };
+    driver::advance_routed(sim, &mut route, at);
 }

@@ -1,0 +1,226 @@
+//! The caching recursive resolver and the [`ServerBackend`] abstraction
+//! that lets every transport server (Do53, DoT, DoH-h1, DoH-h2) serve
+//! either authoritative [`Zone`] answers or cached/recursive ones.
+//!
+//! A [`RecursiveResolver`] sits behind one transport server and is shared
+//! by **all** client sessions of that server: answers fetched for one stub
+//! warm the cache for every other stub, which is exactly the effect the
+//! `fig_cache_hit_cost` experiment measures. On a cache miss the resolver
+//! queries its upstream authoritative server over plain Do53 (the common
+//! deployment shape: encrypted stub-to-recursive, UDP recursive-to-
+//! authoritative), coalescing concurrent identical questions into one
+//! upstream fetch.
+//!
+//! All measurements flow through the one instrument experiments already
+//! read, [`CostMeter`](dohmark_netsim::CostMeter) named counters:
+//! `cache_hit`, `cache_negative_hit`, `cache_miss`, `coalesced_queries`,
+//! `upstream_queries` and `upstream_bytes` (upstream payload + IP/UDP
+//! header bytes, both directions).
+
+use crate::cache::{CachedAnswer, DnsCache};
+use crate::zone::Zone;
+use dohmark_dns_wire::{Message, Name, Rcode, Rdata, Record, RecordType};
+use dohmark_netsim::{HostId, LayerTag, Sim, SockId, Wake};
+
+/// One outstanding upstream fetch, with every stub query waiting on it.
+#[derive(Debug)]
+struct PendingFetch {
+    key: (Name, RecordType),
+    /// Transaction id used upstream — the id of the stub query that
+    /// triggered the fetch, so upstream bytes are attributed to the
+    /// resolution that actually paid for them.
+    upstream_id: u16,
+    /// Parked stub queries: the transport-level waiter token and the
+    /// original query (whose header id the answer must echo).
+    waiters: Vec<(u64, Message)>,
+}
+
+/// A caching recursive resolver: TTL-driven positive/negative cache
+/// (RFC 2308) in front of one Do53 upstream.
+#[derive(Debug)]
+pub struct RecursiveResolver {
+    sock: SockId,
+    upstream: (HostId, u16),
+    cache: DnsCache,
+    pending: Vec<PendingFetch>,
+}
+
+impl RecursiveResolver {
+    /// A resolver on `host` (its upstream socket bound to an ephemeral
+    /// port there) querying the authoritative server at `upstream`, with a
+    /// cache of at most `cache_capacity` entries.
+    ///
+    /// Bind-time matters for wake routing: construct this inside the
+    /// enclosing server's [`Driver::register`](crate::Driver::register)
+    /// closure so the upstream socket is stamped with the server's
+    /// endpoint id.
+    pub fn new(
+        sim: &mut Sim,
+        host: HostId,
+        upstream: (HostId, u16),
+        cache_capacity: usize,
+    ) -> RecursiveResolver {
+        let sock = sim.udp_bind(host, 0);
+        RecursiveResolver {
+            sock,
+            upstream,
+            cache: DnsCache::new(cache_capacity),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The cache's live statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats
+    }
+
+    /// Answers `query` from the cache, or parks it (returning `None`)
+    /// behind an upstream fetch whose completion [`Self::poll`] will
+    /// surface with `waiter` attached.
+    pub fn resolve(&mut self, sim: &mut Sim, query: &Message, waiter: u64) -> Option<Message> {
+        let Some(q) = query.question() else {
+            return Some(Message::response(query, Rcode::FormErr, Vec::new()));
+        };
+        let (qname, qtype) = (q.name.clone(), q.qtype);
+        match self.cache.get(&qname, qtype, sim.now()) {
+            Some(CachedAnswer::Positive(records)) => {
+                sim.meter.bump("cache_hit", 1);
+                return Some(Message::response(query, Rcode::NoError, records));
+            }
+            Some(CachedAnswer::Negative { rcode, soa }) => {
+                sim.meter.bump("cache_negative_hit", 1);
+                let mut m = Message::response(query, rcode, Vec::new());
+                m.authorities.push(soa);
+                return Some(m);
+            }
+            None => {}
+        }
+        sim.meter.bump("cache_miss", 1);
+        let key = (qname, qtype);
+        if let Some(fetch) = self.pending.iter_mut().find(|f| f.key == key) {
+            // An identical question is already in flight: coalesce.
+            sim.meter.bump("coalesced_queries", 1);
+            fetch.waiters.push((waiter, query.clone()));
+            return None;
+        }
+        // Fetch upstream, reusing the stub query's transaction id so the
+        // upstream bytes are attributed to the triggering resolution.
+        let upstream_id = query.header.id;
+        let upstream_query = Message::query(upstream_id, &key.0, qtype);
+        let encoded = upstream_query.encode();
+        sim.set_attr(u32::from(upstream_id));
+        sim.meter.bump("upstream_queries", 1);
+        sim.meter.bump("upstream_bytes", encoded.len() as u64 + 28);
+        sim.udp_send(self.sock, self.upstream, LayerTag::DnsPayload, encoded);
+        self.pending.push(PendingFetch {
+            key,
+            upstream_id,
+            waiters: vec![(waiter, query.clone())],
+        });
+        None
+    }
+
+    /// Ingests upstream responses if `wake` is for the resolver's upstream
+    /// socket; returns the unparked `(waiter, response)` pairs, each
+    /// response carrying its own stub query's transaction id.
+    pub fn poll(&mut self, sim: &mut Sim, wake: &Wake) -> Vec<(u64, Message)> {
+        let Wake::UdpReadable { sock, .. } = wake else { return Vec::new() };
+        if *sock != self.sock {
+            return Vec::new();
+        }
+        let mut completed = Vec::new();
+        while let Some((_, _, data)) = sim.udp_recv(self.sock) {
+            let Ok(upstream) = Message::decode(&data) else { continue };
+            let Some(idx) = self.pending.iter().position(|f| f.upstream_id == upstream.header.id)
+            else {
+                continue;
+            };
+            let fetch = self.pending.remove(idx);
+            sim.meter.bump("upstream_bytes", data.len() as u64 + 28);
+            self.cache_upstream(sim, &fetch, &upstream);
+            for (waiter, stub_query) in fetch.waiters {
+                let mut response =
+                    Message::response(&stub_query, upstream.header.rcode, upstream.answers.clone());
+                response.authorities = upstream.authorities.clone();
+                completed.push((waiter, response));
+            }
+        }
+        completed
+    }
+
+    /// Stores `upstream`'s outcome in the cache: positive answers under
+    /// their minimum record TTL, NXDOMAIN/NODATA under the RFC 2308
+    /// `min(SOA TTL, MINIMUM)` — uncacheable responses (no SOA, ServFail)
+    /// are forwarded but not stored.
+    fn cache_upstream(&mut self, sim: &mut Sim, fetch: &PendingFetch, upstream: &Message) {
+        let (name, qtype) = fetch.key.clone();
+        let now = sim.now();
+        match upstream.header.rcode {
+            Rcode::NoError if !upstream.answers.is_empty() => {
+                self.cache.insert_positive(name, qtype, upstream.answers.clone(), now);
+            }
+            Rcode::NoError | Rcode::NxDomain => {
+                if let Some(soa) = find_soa(&upstream.authorities) {
+                    self.cache.insert_negative(
+                        name,
+                        qtype,
+                        upstream.header.rcode,
+                        soa.clone(),
+                        now,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn find_soa(records: &[Record]) -> Option<&Record> {
+    records.iter().find(|r| matches!(r.rdata, Rdata::Soa(_)))
+}
+
+/// The answer source behind a transport server: authoritative zone data
+/// (the classic fixed-echo servers) or a shared caching recursive
+/// resolver.
+#[derive(Debug)]
+pub enum ServerBackend {
+    /// Answer directly from zone data — every query gets an immediate
+    /// response.
+    Authoritative(Zone),
+    /// Answer from the cache or recurse upstream — queries may park until
+    /// [`ServerBackend::poll`] surfaces them.
+    Recursive(RecursiveResolver),
+}
+
+impl ServerBackend {
+    /// The backend byte-compatible with the legacy fixed-echo servers.
+    pub fn fixed(answer: std::net::Ipv4Addr, ttl: u32) -> ServerBackend {
+        ServerBackend::Authoritative(Zone::fixed(answer, ttl))
+    }
+
+    /// Answers `query` now, or returns `None` to park it; parked queries
+    /// resurface from [`ServerBackend::poll`] tagged with `waiter`.
+    pub fn answer(&mut self, sim: &mut Sim, query: &Message, waiter: u64) -> Option<Message> {
+        match self {
+            ServerBackend::Authoritative(zone) => Some(zone.answer(query)),
+            ServerBackend::Recursive(resolver) => resolver.resolve(sim, query, waiter),
+        }
+    }
+
+    /// Feeds a wake to the backend (upstream socket traffic for recursive
+    /// backends); returns completed `(waiter, response)` pairs.
+    pub fn poll(&mut self, sim: &mut Sim, wake: &Wake) -> Vec<(u64, Message)> {
+        match self {
+            ServerBackend::Authoritative(_) => Vec::new(),
+            ServerBackend::Recursive(resolver) => resolver.poll(sim, wake),
+        }
+    }
+
+    /// Cache statistics, if this backend has a cache.
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        match self {
+            ServerBackend::Authoritative(_) => None,
+            ServerBackend::Recursive(resolver) => Some(resolver.cache_stats()),
+        }
+    }
+}

@@ -23,6 +23,7 @@
 //! }
 //! ```
 
+use crate::resolver::ServerBackend;
 use crate::{
     Do53Client, Do53Server, DohH1Client, DohH1Server, DohH2Client, DohH2Server, DotClient,
     DotServer, Endpoint, Resolver, ReusePolicy,
@@ -163,6 +164,80 @@ impl TransportConfig {
         }
         cells
     }
+
+    /// Builds this cell's server on `host`, answering with the config's
+    /// fixed `answer`/`ttl`. Designed as a
+    /// [`Driver::register`](crate::Driver::register) factory, so handles
+    /// it binds get the registering endpoint's owner id.
+    pub fn build_server(&self, sim: &mut Sim, host: HostId) -> Box<dyn Endpoint> {
+        self.build_server_with(sim, host, ServerBackend::fixed(self.answer, self.ttl))
+    }
+
+    /// [`TransportConfig::build_server`] with an explicit backend — a
+    /// synthetic [`Zone`](crate::Zone) or a shared caching
+    /// [`RecursiveResolver`](crate::RecursiveResolver).
+    pub fn build_server_with(
+        &self,
+        sim: &mut Sim,
+        host: HostId,
+        backend: ServerBackend,
+    ) -> Box<dyn Endpoint> {
+        let port = self.kind.port();
+        match self.kind {
+            TransportKind::Do53 => Box::new(Do53Server::bind_with(sim, host, port, backend)),
+            TransportKind::Dot => {
+                let tls = self.tls().expect("dot uses tls");
+                Box::new(DotServer::bind_with(sim, host, port, tls, backend))
+            }
+            TransportKind::DohH1 => {
+                let tls = self.tls().expect("doh uses tls");
+                Box::new(DohH1Server::bind_with(sim, host, port, tls, backend))
+            }
+            TransportKind::DohH2 => {
+                let tls = self.tls().expect("doh uses tls");
+                Box::new(DohH2Server::bind_with(sim, host, port, tls, backend))
+            }
+        }
+    }
+
+    /// Builds this cell's client on `stub`, querying the server on
+    /// `resolver` at the transport's well-known port. Clients bind their
+    /// handles lazily (at the first query), so this needs no simulator —
+    /// but register it through
+    /// [`Driver::register_resolver`](crate::Driver::register_resolver) so
+    /// those lazy handles get the right owner id.
+    pub fn build_client(&self, stub: HostId, resolver: HostId) -> Box<dyn Resolver> {
+        let server_addr = (resolver, self.kind.port());
+        match self.kind {
+            TransportKind::Do53 => Box::new(Do53Client::new(stub, server_addr)),
+            TransportKind::Dot => {
+                let tls = self.tls().expect("dot uses tls");
+                Box::new(DotClient::new(stub, server_addr, tls, self.reuse, self.conn_attr))
+            }
+            TransportKind::DohH1 => {
+                let tls = self.tls().expect("doh uses tls");
+                Box::new(DohH1Client::new(
+                    stub,
+                    server_addr,
+                    &self.sni,
+                    tls,
+                    self.reuse,
+                    self.conn_attr,
+                ))
+            }
+            TransportKind::DohH2 => {
+                let tls = self.tls().expect("doh uses tls");
+                Box::new(DohH2Client::new(
+                    stub,
+                    server_addr,
+                    &self.sni,
+                    tls,
+                    self.reuse,
+                    self.conn_attr,
+                ))
+            }
+        }
+    }
 }
 
 /// Builds the configured client/server pair on two fresh hosts ("stub",
@@ -184,34 +259,7 @@ pub fn build_pair_on(
     resolver: HostId,
     cfg: &TransportConfig,
 ) -> (Box<dyn Resolver>, Box<dyn Endpoint>) {
-    let port = cfg.kind.port();
-    let server_addr = (resolver, port);
-    match cfg.kind {
-        TransportKind::Do53 => {
-            let server = Do53Server::bind(sim, resolver, port, cfg.answer, cfg.ttl);
-            (Box::new(Do53Client::new(stub, server_addr)), Box::new(server))
-        }
-        TransportKind::Dot => {
-            let tls = cfg.tls().expect("dot uses tls");
-            let server = DotServer::bind(sim, resolver, port, tls.clone(), cfg.answer, cfg.ttl);
-            let client = DotClient::new(stub, server_addr, tls, cfg.reuse, cfg.conn_attr);
-            (Box::new(client), Box::new(server))
-        }
-        TransportKind::DohH1 => {
-            let tls = cfg.tls().expect("doh uses tls");
-            let server = DohH1Server::bind(sim, resolver, port, tls.clone(), cfg.answer, cfg.ttl);
-            let client =
-                DohH1Client::new(stub, server_addr, &cfg.sni, tls, cfg.reuse, cfg.conn_attr);
-            (Box::new(client), Box::new(server))
-        }
-        TransportKind::DohH2 => {
-            let tls = cfg.tls().expect("doh uses tls");
-            let server = DohH2Server::bind(sim, resolver, port, tls.clone(), cfg.answer, cfg.ttl);
-            let client =
-                DohH2Client::new(stub, server_addr, &cfg.sni, tls, cfg.reuse, cfg.conn_attr);
-            (Box::new(client), Box::new(server))
-        }
-    }
+    (cfg.build_client(stub, resolver), cfg.build_server(sim, resolver))
 }
 
 #[cfg(test)]

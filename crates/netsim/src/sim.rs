@@ -161,7 +161,7 @@ pub(crate) enum EvKind {
     Deliver(Packet),
     TcpDelack { conn: usize, side: Side, gen: u64 },
     TcpRto { conn: usize, side: Side, gen: u64 },
-    AppTimer { token: u64 },
+    AppTimer { token: u64, owner: u64 },
 }
 
 #[derive(Debug)]
@@ -170,6 +170,7 @@ struct UdpSock {
     port: u16,
     rx: VecDeque<(HostId, u16, Vec<u8>)>,
     open: bool,
+    owner: u64,
 }
 
 /// The simulator.
@@ -183,13 +184,14 @@ pub struct Sim {
     udp: Vec<UdpSock>,
     pub(crate) listeners: Vec<Listener>,
     pub(crate) conns: Vec<TcpConn>,
-    pub(crate) wakes: VecDeque<Wake>,
+    pub(crate) wakes: VecDeque<(Wake, u64)>,
     /// Per-attribution byte/packet accounting.
     pub meter: CostMeter,
     /// Optional tcpdump-style packet log.
     pub trace: TraceLog,
     rng: SimRng,
     attr: u32,
+    owner: u64,
     next_ephemeral: u16,
     pub(crate) dropped: u64,
 }
@@ -211,6 +213,7 @@ impl Sim {
             trace: TraceLog::new(),
             rng: SimRng::new(seed),
             attr: 0,
+            owner: 0,
             next_ephemeral: 40_000,
             dropped: 0,
         }
@@ -234,6 +237,20 @@ impl Sim {
     /// The current attribution id.
     pub fn attr(&self) -> u32 {
         self.attr
+    }
+
+    /// Sets the wake-ownership id stamped on subsequently created handles
+    /// (UDP sockets, TCP listeners/connections, app timers). Wakes for a
+    /// handle carry its owner, so a registry-style driver can route each
+    /// wake straight to the endpoint that owns the handle instead of
+    /// broadcasting it. Owner `0` means "unowned" (legacy broadcast mode).
+    pub fn set_owner(&mut self, owner: u64) {
+        self.owner = owner;
+    }
+
+    /// The current wake-ownership id.
+    pub fn owner(&self) -> u64 {
+        self.owner
     }
 
     /// A deterministic child RNG for workload generation.
@@ -281,10 +298,12 @@ impl Sim {
         self.heap.push(Reverse(Ev { at, seq, kind }));
     }
 
-    /// Schedules an application timer at an absolute time.
+    /// Schedules an application timer at an absolute time. The timer's
+    /// wake is owned by the current [`Sim::set_owner`] id.
     pub fn schedule_app(&mut self, at: SimTime, token: u64) {
         let at = if at < self.now { self.now } else { at };
-        self.push_event(at, EvKind::AppTimer { token });
+        let owner = self.owner;
+        self.push_event(at, EvKind::AppTimer { token, owner });
     }
 
     /// Schedules an application timer after a delay.
@@ -307,7 +326,8 @@ impl Sim {
     /// independent source ports.
     pub fn udp_bind(&mut self, host: HostId, port: u16) -> SockId {
         let port = if port == 0 { self.alloc_ephemeral() } else { port };
-        self.udp.push(UdpSock { host: host.0, port, rx: VecDeque::new(), open: true });
+        let owner = self.owner;
+        self.udp.push(UdpSock { host: host.0, port, rx: VecDeque::new(), open: true, owner });
         SockId(self.udp.len() - 1)
     }
 
@@ -415,7 +435,8 @@ impl Sim {
             return;
         };
         self.udp[idx].rx.push_back((pkt.src.0, pkt.src.1, pkt.payload));
-        self.wakes.push_back(Wake::UdpReadable { at: self.now, sock: SockId(idx) });
+        let owner = self.udp[idx].owner;
+        self.wakes.push_back((Wake::UdpReadable { at: self.now, sock: SockId(idx) }, owner));
     }
 
     // ------------------------------------------------------------------
@@ -425,6 +446,14 @@ impl Sim {
     /// Advances the simulation until the next application-visible event and
     /// returns it, or `None` when the simulation has run dry.
     pub fn next_wake(&mut self) -> Option<Wake> {
+        self.next_wake_owned().map(|(w, _)| w)
+    }
+
+    /// Like [`Sim::next_wake`], but also returns the wake's owner id — the
+    /// [`Sim::set_owner`] value in effect when the underlying handle was
+    /// created. Owner `0` means the handle was created unowned; routed
+    /// drivers broadcast (or drop) such wakes as they see fit.
+    pub fn next_wake_owned(&mut self) -> Option<(Wake, u64)> {
         loop {
             if let Some(w) = self.wakes.pop_front() {
                 return Some(w);
@@ -439,8 +468,8 @@ impl Sim {
                 },
                 EvKind::TcpDelack { conn, side, gen } => self.on_tcp_delack(conn, side, gen),
                 EvKind::TcpRto { conn, side, gen } => self.on_tcp_rto(conn, side, gen),
-                EvKind::AppTimer { token } => {
-                    return Some(Wake::AppTimer { at: self.now, token });
+                EvKind::AppTimer { token, owner } => {
+                    return Some((Wake::AppTimer { at: self.now, token }, owner));
                 }
             }
         }

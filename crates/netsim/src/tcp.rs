@@ -44,6 +44,9 @@ const WINDOW_SEGS: u64 = 10;
 pub struct Listener {
     pub(crate) host: usize,
     pub(crate) port: u16,
+    /// Wake-ownership id stamped at `tcp_listen` time; accepted server-side
+    /// connection ends inherit it.
+    pub(crate) owner: u64,
 }
 
 /// A FIFO byte buffer that remembers which [`LayerTag`] and attribution
@@ -223,6 +226,9 @@ impl Endpoint {
 #[derive(Debug)]
 pub struct TcpConn {
     pub(crate) ends: [Endpoint; 2],
+    /// Wake-ownership ids per side: the client side is stamped at
+    /// `tcp_connect`, the server side at SYN time from its listener.
+    pub(crate) owners: [u64; 2],
 }
 
 /// What an RTO expiry decided to do, resolved outside the borrow of the
@@ -241,7 +247,8 @@ impl Sim {
 
     /// Starts listening for connections to `(host, port)`.
     pub fn tcp_listen(&mut self, host: HostId, port: u16) -> ListenerId {
-        self.listeners.push(Listener { host: host.0, port });
+        let owner = self.owner();
+        self.listeners.push(Listener { host: host.0, port, owner });
         ListenerId(self.listeners.len() - 1)
     }
 
@@ -254,7 +261,9 @@ impl Sim {
         let mut client = Endpoint::new(host.0, port, mss);
         client.state = TcpState::SynSent;
         let server = Endpoint::new(dst.0 .0, dst.1, DEFAULT_MSS);
-        self.conns.push(TcpConn { ends: [client, server] });
+        // The server-side owner is resolved at SYN time from the listener.
+        let owners = [self.owner(), 0];
+        self.conns.push(TcpConn { ends: [client, server], owners });
         let conn = self.conns.len() - 1;
         self.tcp_emit_syn(conn);
         self.tcp_arm_rto(conn, Side::Client);
@@ -527,8 +536,11 @@ impl Sim {
                     return;
                 };
                 let mss = self.tcp_mss(HostId(host), HostId(peer_host));
+                let listener_owner = self.listeners[lid].owner;
                 {
-                    let ep = &mut self.conns[conn].ends[Side::Server.index()];
+                    let c = &mut self.conns[conn];
+                    c.owners[Side::Server.index()] = listener_owner;
+                    let ep = &mut c.ends[Side::Server.index()];
                     ep.mss = mss;
                     ep.listener = Some(ListenerId(lid));
                     ep.state = TcpState::SynRcvd;
@@ -567,10 +579,11 @@ impl Sim {
         if completed {
             self.tcp_cancel_rto(conn, Side::Client);
             self.tcp_emit_ack(conn, Side::Client);
-            self.wakes.push_back(Wake::TcpConnected {
-                at: now,
-                conn: TcpHandle { conn, side: Side::Client },
-            });
+            let owner = self.conns[conn].owners[Side::Client.index()];
+            self.wakes.push_back((
+                Wake::TcpConnected { at: now, conn: TcpHandle { conn, side: Side::Client } },
+                owner,
+            ));
             self.tcp_pump(conn, Side::Client);
         } else {
             // Duplicate SYN-ACK: our handshake ACK was lost. Re-ACK.
@@ -635,11 +648,13 @@ impl Sim {
                 ack_now = true;
             }
         }
+        let owner = self.conns[conn].owners[side.index()];
         if readable {
-            self.wakes.push_back(Wake::TcpReadable { at: now, conn: TcpHandle { conn, side } });
+            self.wakes
+                .push_back((Wake::TcpReadable { at: now, conn: TcpHandle { conn, side } }, owner));
         }
         if fin {
-            self.wakes.push_back(Wake::TcpFin { at: now, conn: TcpHandle { conn, side } });
+            self.wakes.push_back((Wake::TcpFin { at: now, conn: TcpHandle { conn, side } }, owner));
         }
         if ack_now {
             self.tcp_emit_ack(conn, side);
@@ -693,11 +708,11 @@ impl Sim {
             self.tcp_cancel_rto(conn, side);
         }
         if let Some(listener) = accepted {
-            self.wakes.push_back(Wake::TcpAccepted {
-                at: now,
-                listener,
-                conn: TcpHandle { conn, side },
-            });
+            let owner = self.conns[conn].owners[side.index()];
+            self.wakes.push_back((
+                Wake::TcpAccepted { at: now, listener, conn: TcpHandle { conn, side } },
+                owner,
+            ));
         }
         // The window slid (or the handshake completed): send more.
         self.tcp_pump(conn, side);

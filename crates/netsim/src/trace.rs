@@ -9,7 +9,7 @@
 
 use crate::packet::Packet;
 use crate::time::SimTime;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The layers the paper's Figure 5 breaks DoH resolution cost into, plus the
 /// raw DNS payload tag used for the UDP scenarios.
@@ -123,10 +123,14 @@ pub struct Cost {
     pub layers: LayerBytes,
 }
 
-/// Aggregates packets into per-attribution [`Cost`]s.
+/// Aggregates packets into per-attribution [`Cost`]s, plus named event
+/// counters (cache hits/misses, upstream fetches, …) that application
+/// layers bump so experiments read *all* their measurements from one
+/// instrument.
 #[derive(Debug, Default)]
 pub struct CostMeter {
     by_attr: HashMap<u32, Cost>,
+    counters: BTreeMap<&'static str, u64>,
 }
 
 impl CostMeter {
@@ -169,9 +173,25 @@ impl CostMeter {
         total
     }
 
-    /// Clears all recorded costs.
+    /// Adds `n` to the named counter, creating it at zero first.
+    pub fn bump(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// The named counter's value, zero if it was never bumped.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters in lexicographic order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Clears all recorded costs and counters.
     pub fn reset(&mut self) {
         self.by_attr.clear();
+        self.counters.clear();
     }
 }
 

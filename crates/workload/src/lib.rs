@@ -153,6 +153,151 @@ impl Iterator for QuerySchedule {
     }
 }
 
+/// Zipf-distributed name popularity over a fixed, shared name universe —
+/// the workload shape that makes a shared resolver cache pay off.
+///
+/// The universe is the deterministic set `w0000000.<zone>` …
+/// `w<N-1>.<zone>` (constant-width labels, so — like [`NameGen`] — every
+/// query encodes to exactly the same wire length). Rank `r` (0-based) is
+/// drawn with probability proportional to `1 / (r + 1)^s`; smaller
+/// universes and larger exponents concentrate queries on few names and
+/// drive the cache-hit ratio up, which is exactly the knob the
+/// `fig_cache_hit_cost` experiment sweeps.
+#[derive(Debug, Clone)]
+pub struct ZipfNames {
+    rng: SimRng,
+    zone: Name,
+    /// Normalised cumulative weights; `cdf[r]` = P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl ZipfNames {
+    /// Width of the digit part of every label (`w` + 7 digits = 8 chars,
+    /// matching the experiments' 8-char [`NameGen`] labels).
+    const DIGITS: usize = 7;
+
+    /// A sampler over `universe` names under `zone` with Zipf exponent
+    /// `exponent` (1.0 is the classic web/DNS value). `universe` is capped
+    /// to the `10^7` names the label width can express.
+    pub fn new(rng: SimRng, zone: &Name, universe: usize, exponent: f64) -> ZipfNames {
+        let universe = universe.clamp(1, 10usize.pow(ZipfNames::DIGITS as u32));
+        let mut cdf = Vec::with_capacity(universe);
+        let mut total = 0.0;
+        for rank in 0..universe {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfNames { rng, zone: zone.clone(), cdf }
+    }
+
+    /// The number of distinct names in the universe.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The `rank`-th (0-based, most popular first) name of the universe.
+    pub fn name_for(&self, rank: usize) -> Name {
+        let label = format!("w{rank:0width$}", width = ZipfNames::DIGITS);
+        self.zone.child(&label).expect("fixed-width label under a valid zone is valid")
+    }
+
+    /// The wire length every sampled name encodes to (uncompressed).
+    pub fn wire_len(&self) -> usize {
+        self.zone.wire_len() + 2 + ZipfNames::DIGITS
+    }
+
+    /// Samples the next name.
+    pub fn next_name(&mut self) -> Name {
+        let u = self.rng.next_f64();
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        self.name_for(rank)
+    }
+}
+
+/// A multi-client workload: every stub client gets its own Poisson arrival
+/// process while all of them draw names from **one** shared Zipf universe
+/// — so what client A resolved a moment ago is disproportionately likely
+/// to be what client B asks next, and a resolver cache shared across the
+/// fleet pays off.
+#[derive(Debug, Clone)]
+pub struct FleetSchedule {
+    /// The merged query stream: `(arrival time, client index, name)`,
+    /// sorted by time (ties broken by client index).
+    pub queries: Vec<(SimTime, usize, Name)>,
+    /// The fleet size the schedule was generated for.
+    pub clients: usize,
+}
+
+impl FleetSchedule {
+    /// Split-stream label for the per-client arrival processes (client
+    /// `i` uses sub-stream `i`).
+    pub const ARRIVALS_STREAM: u64 = 3;
+    /// Split-stream label for the shared Zipf name draw.
+    pub const ZIPF_STREAM: u64 = 4;
+
+    /// Generates the full schedule: `clients` Poisson processes with mean
+    /// gap `mean_gap` and `queries_per_client` queries each, names drawn
+    /// in global arrival order from a shared [`ZipfNames`] universe of
+    /// `universe` names under `zone` with the given `exponent`.
+    ///
+    /// Deterministic in `rng`: the per-client arrival streams and the name
+    /// stream are independent splits, so the same seed replays the same
+    /// schedule bit for bit regardless of how the caller consumed `rng`
+    /// elsewhere.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate(
+        rng: &mut SimRng,
+        clients: usize,
+        mean_gap: SimDuration,
+        queries_per_client: usize,
+        zone: &Name,
+        universe: usize,
+        exponent: f64,
+    ) -> FleetSchedule {
+        let mut arrivals_parent = rng.split(FleetSchedule::ARRIVALS_STREAM);
+        let mut queries = Vec::with_capacity(clients * queries_per_client);
+        for client in 0..clients {
+            let mut arrivals = PoissonArrivals::new(arrivals_parent.split(client as u64), mean_gap);
+            let mut at = SimTime::ZERO;
+            for _ in 0..queries_per_client {
+                at += arrivals.next_gap();
+                queries.push((at, client));
+            }
+        }
+        // Deterministic global time order; client index breaks exact ties.
+        queries.sort_unstable_by_key(|&(at, client)| (at, client));
+        // Names are drawn in arrival order from the one shared universe:
+        // popularity is a property of the *workload*, not of any client.
+        let mut names =
+            ZipfNames::new(rng.split(FleetSchedule::ZIPF_STREAM), zone, universe, exponent);
+        let queries =
+            queries.into_iter().map(|(at, client)| (at, client, names.next_name())).collect();
+        FleetSchedule { queries, clients }
+    }
+
+    /// Total query count.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The number of distinct names actually queried — the lower bound on
+    /// compulsory cache misses.
+    pub fn distinct_names(&self) -> usize {
+        let mut names: Vec<&Name> = self.queries.iter().map(|(_, _, n)| n).collect();
+        names.sort_unstable_by_key(|n| n.to_string());
+        names.dedup();
+        names.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +382,73 @@ mod tests {
             assert_eq!(got_at, at);
             assert_eq!(got_name, names.next_name());
         }
+    }
+
+    #[test]
+    fn zipf_names_are_skewed_constant_width_and_deterministic() {
+        let draw = |seed: u64| {
+            let mut z = ZipfNames::new(SimRng::new(seed), &zone(), 100, 1.0);
+            (0..2000).map(|_| z.next_name().to_string()).collect::<Vec<_>>()
+        };
+        let a = draw(5);
+        assert_eq!(a, draw(5), "same seed, same stream");
+        assert_ne!(a, draw(6));
+        let z = ZipfNames::new(SimRng::new(5), &zone(), 100, 1.0);
+        let top = a.iter().filter(|n| **n == z.name_for(0).to_string()).count();
+        let mid = a.iter().filter(|n| **n == z.name_for(49).to_string()).count();
+        assert!(top > 5 * mid.max(1), "rank 0 ({top}) must dwarf rank 49 ({mid})");
+        for n in a.iter().take(50) {
+            assert_eq!(Name::parse(n).unwrap().wire_len(), z.wire_len());
+        }
+    }
+
+    #[test]
+    fn zipf_universe_bounds_the_name_set() {
+        let mut z = ZipfNames::new(SimRng::new(1), &zone(), 5, 1.0);
+        let mut seen: Vec<String> = (0..500).map(|_| z.next_name().to_string()).collect();
+        seen.sort();
+        seen.dedup();
+        assert!(seen.len() <= 5);
+        assert_eq!(seen.len(), 5, "500 draws over 5 names should hit all of them");
+    }
+
+    #[test]
+    fn fleet_schedule_is_sorted_deterministic_and_shares_the_universe() {
+        let gen = |seed: u64| {
+            let mut rng = SimRng::new(seed);
+            FleetSchedule::generate(&mut rng, 50, SimDuration::from_millis(20), 4, &zone(), 30, 1.0)
+        };
+        let a = gen(9);
+        assert_eq!(a.queries, gen(9).queries, "same seed, same schedule");
+        assert_ne!(a.queries, gen(10).queries);
+        assert_eq!(a.len(), 50 * 4);
+        assert_eq!(a.clients, 50);
+        for pair in a.queries.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "arrival times must be sorted");
+        }
+        // Every client queries, and the shared universe bounds the names.
+        let clients: std::collections::HashSet<usize> =
+            a.queries.iter().map(|&(_, c, _)| c).collect();
+        assert_eq!(clients.len(), 50);
+        assert!(a.distinct_names() <= 30);
+    }
+
+    #[test]
+    fn smaller_universes_mean_fewer_distinct_names() {
+        let distinct = |universe: usize| {
+            let mut rng = SimRng::new(3);
+            FleetSchedule::generate(
+                &mut rng,
+                20,
+                SimDuration::from_millis(10),
+                10,
+                &zone(),
+                universe,
+                1.0,
+            )
+            .distinct_names()
+        };
+        assert!(distinct(5) < distinct(1000), "universe 5 must repeat names more");
     }
 
     #[test]
