@@ -1,10 +1,14 @@
 //! Wall-clock bench: how fast the simulator drives a 1,000-client fleet
-//! through each transport cell.
+//! through each transport cell, plus the parallel sweep runner's
+//! speedup on a 40-seed matrix sweep.
 //!
 //! A plain-main harness (no external benchmarking crates): it times one
 //! seeded 1,000-stub-client fleet run per transport — the topology the
-//! addressed-routing driver exists for — and prints one line of JSON.
-//! Redirect stdout to refresh `BENCH_transports.json` at the repo root:
+//! addressed-routing driver exists for — then replays the full Figure-3
+//! matrix sweep at `threads = 1` and `threads = 4` and records the
+//! wall-clock speedup (the rendered reports are asserted byte-identical
+//! first). Prints one line of JSON; redirect stdout to refresh
+//! `BENCH_transports.json` at the repo root:
 //!
 //! ```text
 //! cargo bench --bench transports > BENCH_transports.json
@@ -12,12 +16,34 @@
 
 use std::time::Instant;
 
+use dohmark::doh::TransportConfig;
 use dohmark::netsim::SimDuration;
-use dohmark_bench::{fleet_transports, run_fleet_cell, FleetConfig};
+use dohmark_bench::{fleet_transports, run_fleet_cell, FleetConfig, MatrixCell, Report, SweepSpec};
 
 const SEED: u64 = 1;
 const CLIENTS: usize = 1000;
 const UNIVERSE: usize = 400;
+const SWEEP_SEEDS: u64 = 40;
+const SWEEP_RESOLUTIONS: u16 = 20;
+
+/// Runs the Figure-3 matrix sweep (every transport cell × 40 seeds) at
+/// the given worker count and returns the rendered report plus the wall
+/// clock it took.
+fn timed_sweep(threads: usize) -> (String, f64) {
+    let started = Instant::now();
+    let sweep = SweepSpec::new()
+        .cells(
+            TransportConfig::matrix()
+                .into_iter()
+                .map(|cfg| Box::new(MatrixCell { cfg, resolutions: SWEEP_RESOLUTIONS }) as _),
+        )
+        .seeds(1..=SWEEP_SEEDS)
+        .threads(threads)
+        .run();
+    let doc =
+        Report::new("fig3_bytes_per_resolution").stats(&["bytes_per_resolution"]).render(&sweep);
+    (doc, started.elapsed().as_secs_f64() * 1e3)
+}
 
 fn main() {
     let mut out = String::from(
@@ -31,7 +57,7 @@ fn main() {
             ..FleetConfig::new(transport, CLIENTS, UNIVERSE)
         };
         let started = Instant::now();
-        let run = run_fleet_cell(&cfg, SEED);
+        let run = run_fleet_cell(&cfg, SEED).expect("1,000 queries fit the txn-id space");
         let wall = started.elapsed();
         let wall_ms = wall.as_secs_f64() * 1e3;
         if i > 0 {
@@ -49,6 +75,22 @@ fn main() {
             run.hit_ratio,
         ));
     }
-    out.push_str("]}");
+    let (serial_doc, serial_ms) = timed_sweep(1);
+    let (parallel_doc, parallel_ms) = timed_sweep(4);
+    assert_eq!(serial_doc, parallel_doc, "threads=4 must render byte-identically to threads=1");
+    // `cores` keys the speedup: on a single-core box threads=4 can only
+    // tie (scheduling overhead makes it slightly lose); the figure is
+    // meaningful on >= 4 cores.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    out.push_str(&format!(
+        "], \"sweep\": {{\"experiment\": \"fig3_bytes_per_resolution\", \"cells\": {}, \
+         \"seeds\": {}, \"cores\": {cores}, \"wall_ms_threads1\": {:.1}, \
+         \"wall_ms_threads4\": {:.1}, \"speedup_threads4\": {:.2}, \"byte_identical\": true}}}}",
+        TransportConfig::matrix().len(),
+        SWEEP_SEEDS,
+        serial_ms,
+        parallel_ms,
+        serial_ms / parallel_ms.max(1e-9),
+    ));
     println!("{out}");
 }

@@ -1,1 +1,19 @@
-fn main() {}
+//! Figure 2 — TCP head-of-line blocking under packet loss. **Stub**:
+//! waits on lossy-link profiles biting the transport comparison (see
+//! ROADMAP); the binary already speaks the shared sweep CLI and emits an
+//! honest empty report so downstream tooling can treat every fig harness
+//! uniformly.
+
+use dohmark_bench::{Report, SweepArgs, SweepSpec, Value};
+
+fn main() {
+    let args = SweepArgs::from_env(1);
+    let empty = SweepSpec::new().run();
+    let doc = Report::new("fig2_hol_blocking")
+        .meta(
+            "status",
+            Value::Str("stub: lossy-link HOL experiment not yet implemented".to_string()),
+        )
+        .render(&empty);
+    args.emit(&doc);
+}

@@ -1,27 +1,47 @@
 //! Figure 3: bytes per resolution, per transport, over many seeds.
 //!
-//! Resolves the same Poisson workload through every cell of the
-//! transport matrix (Do53 / DoT / DoH-h1 / DoH-h2 × fresh / resumed /
-//! persistent) for seeds 1..=10 and emits the distribution as one line
-//! of JSON on stdout — parseable with `dohmark::dns::jsontext`:
+//! Sweeps the same Poisson workload through every cell of the transport
+//! matrix (Do53 / DoT / DoH-h1 / DoH-h2 × fresh / resumed / persistent)
+//! and emits rows plus per-cell p5/p95/CI bands as one line of JSON —
+//! parseable with `dohmark::dns::jsontext`:
 //!
 //! ```console
-//! $ cargo run --release --bin fig3_bytes_per_resolution | head -c 120
-//! {"experiment": "fig3_bytes_per_resolution", "resolutions": 20, "rows": [{"cell": "do53", …
+//! $ cargo run --release --bin fig3_bytes_per_resolution -- --seeds 40 --threads 4 | head -c 120
+//! {"experiment": "fig3_bytes_per_resolution", "resolutions": 20, "seeds": 40, "rows": [{"cell": "do53", …
 //! ```
+//!
+//! The report is byte-identical for any `--threads` value.
 
 use dohmark::doh::TransportConfig;
-use dohmark_bench::{fig3_json, run_matrix_cell, CellRun};
+use dohmark_bench::{MatrixCell, Report, SweepArgs, SweepSpec, Value};
 
-/// Seeds per cell; ≥ 10 so the emitted rows form a distribution.
-const SEEDS: std::ops::RangeInclusive<u64> = 1..=10;
+/// Default seeds per cell; ≥ 10 so the emitted rows form a distribution.
+const DEFAULT_SEEDS: u64 = 10;
 /// Queries resolved per run.
 const RESOLUTIONS: u16 = 20;
 
 fn main() {
-    let runs: Vec<CellRun> = TransportConfig::matrix()
-        .iter()
-        .flat_map(|cfg| SEEDS.map(|seed| run_matrix_cell(cfg, seed, RESOLUTIONS)))
-        .collect();
-    println!("{}", fig3_json(RESOLUTIONS, &runs));
+    let args = SweepArgs::from_env(DEFAULT_SEEDS);
+    let sweep = SweepSpec::new()
+        .cells(
+            TransportConfig::matrix()
+                .into_iter()
+                .map(|cfg| Box::new(MatrixCell { cfg, resolutions: RESOLUTIONS }) as _),
+        )
+        .seeds(args.seed_range())
+        .threads(args.threads)
+        .run();
+    let doc = Report::new("fig3_bytes_per_resolution")
+        .meta("resolutions", Value::U64(u64::from(RESOLUTIONS)))
+        .meta("seeds", Value::U64(args.seeds))
+        .columns(&[
+            "bytes_per_resolution",
+            "packets_per_resolution",
+            "steady_bytes_per_resolution",
+            "layers",
+            "header_bytes_per_query",
+        ])
+        .stats(&["bytes_per_resolution", "steady_bytes_per_resolution"])
+        .render(&sweep);
+    args.emit(&doc);
 }

@@ -1,1 +1,15 @@
-fn main() {}
+//! Figure 6 — page-load time per transport. **Stub**: waits on the
+//! `pageload` browser dependency-tree engine (see ROADMAP); the binary
+//! already speaks the shared sweep CLI and emits an honest empty report
+//! so downstream tooling can treat every fig harness uniformly.
+
+use dohmark_bench::{Report, SweepArgs, SweepSpec, Value};
+
+fn main() {
+    let args = SweepArgs::from_env(1);
+    let empty = SweepSpec::new().run();
+    let doc = Report::new("fig6_pageload")
+        .meta("status", Value::Str("stub: pageload engine not yet implemented".to_string()))
+        .render(&empty);
+    args.emit(&doc);
+}

@@ -6,22 +6,32 @@
 //! fleet draws from: a broad universe forces compulsory misses (and
 //! upstream fetches), a narrow one lets the shared cache absorb almost
 //! everything. Emits one line of JSON pairing each cell's `hit_ratio`
-//! with its `bytes_per_resolution`.
+//! with its `bytes_per_resolution`, with per-cell bands over seeds.
 
-use dohmark_bench::{fig_cache_hit_cost_json, fleet_transports, run_fleet_cell, FleetConfig};
+use dohmark_bench::{FleetCell, FleetConfig, Report, SweepArgs, SweepSpec, Value};
 
-const SEED: u64 = 1;
+/// Fleet runs are heavy (1,000 clients each); one seed by default.
+const DEFAULT_SEEDS: u64 = 1;
 const CLIENTS: usize = 1000;
 const UNIVERSES: [usize; 5] = [4000, 800, 160, 32, 8];
 
 fn main() {
-    let runs: Vec<_> = fleet_transports()
-        .iter()
-        .flat_map(|transport| {
+    let args = SweepArgs::from_env(DEFAULT_SEEDS);
+    let sweep = SweepSpec::new()
+        .cells(dohmark_bench::fleet_transports().into_iter().flat_map(|transport| {
             UNIVERSES.map(|universe| {
-                run_fleet_cell(&FleetConfig::new(transport.clone(), CLIENTS, universe), SEED)
+                let cell = FleetCell::new(FleetConfig::new(transport.clone(), CLIENTS, universe))
+                    .expect("1,000-client fleets fit the txn-id space");
+                Box::new(cell) as _
             })
-        })
-        .collect();
-    println!("{}", fig_cache_hit_cost_json(&runs));
+        }))
+        .seeds(args.seed_range())
+        .threads(args.threads)
+        .run();
+    let doc = Report::new("fig_cache_hit_cost")
+        .meta("clients", Value::U64(CLIENTS as u64))
+        .meta("seeds", Value::U64(args.seeds))
+        .stats(&["bytes_per_resolution", "hit_ratio"])
+        .render(&sweep);
+    args.emit(&doc);
 }

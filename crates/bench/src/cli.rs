@@ -1,0 +1,144 @@
+//! Minimal shared CLI parsing for the figure binaries.
+//!
+//! Every fig harness accepts the same three flags instead of hardcoding
+//! per-binary seed counts:
+//!
+//! ```text
+//! --seeds N     seeds 1..=N per cell      (default: per-binary)
+//! --threads N   sweep worker threads      (default: 1)
+//! --out PATH    write the report to PATH  (default: stdout)
+//! ```
+//!
+//! Parsing is hand-rolled (the workspace takes no external crates):
+//! [`SweepArgs::from_env`] reads `std::env::args`, printing usage and
+//! exiting on `--help` or a malformed flag; [`SweepArgs::parse`] is the
+//! testable core.
+
+use std::ops::RangeInclusive;
+
+/// Parsed sweep options shared by every figure binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Seeds per cell; the sweep runs seeds `1..=seeds`.
+    pub seeds: u64,
+    /// Worker threads for the sweep runner (wall-clock only — reports
+    /// are byte-identical across thread counts).
+    pub threads: usize,
+    /// Report destination; `None` prints to stdout.
+    pub out: Option<String>,
+}
+
+impl SweepArgs {
+    /// The defaults a binary starts from: `seeds` per cell, one thread,
+    /// stdout.
+    pub fn defaults(seeds: u64) -> SweepArgs {
+        SweepArgs { seeds, threads: 1, out: None }
+    }
+
+    /// Parses flags over these defaults. Returns `Err(message)` on an
+    /// unknown flag, a missing value, or a malformed number; `--help` is
+    /// reported as an error carrying the usage text.
+    pub fn parse(mut self, args: impl IntoIterator<Item = String>) -> Result<SweepArgs, String> {
+        let mut args = args.into_iter();
+        while let Some(flag) = args.next() {
+            let mut value =
+                |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
+            match flag.as_str() {
+                "--seeds" => {
+                    self.seeds = value("--seeds")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--seeds: {e}\n{USAGE}"))?;
+                    if self.seeds == 0 {
+                        return Err(format!("--seeds must be at least 1\n{USAGE}"));
+                    }
+                }
+                "--threads" => {
+                    self.threads = value("--threads")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--threads: {e}\n{USAGE}"))?
+                        .max(1);
+                }
+                "--out" => self.out = Some(value("--out")?),
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+            }
+        }
+        Ok(self)
+    }
+
+    /// Parses the process arguments over these defaults, printing usage
+    /// and exiting on `--help` (status 0) or any parse error (status 2).
+    pub fn from_env(default_seeds: u64) -> SweepArgs {
+        match SweepArgs::defaults(default_seeds).parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) if message == USAGE => {
+                println!("{message}");
+                std::process::exit(0);
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The seed list the sweep runs: `1..=seeds`.
+    pub fn seed_range(&self) -> RangeInclusive<u64> {
+        1..=self.seeds
+    }
+
+    /// Emits a rendered report: to `--out`'s path (with a trailing
+    /// newline) when given, to stdout otherwise.
+    pub fn emit(&self, doc: &str) {
+        match &self.out {
+            Some(path) => {
+                std::fs::write(path, format!("{doc}\n"))
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            }
+            None => println!("{doc}"),
+        }
+    }
+}
+
+/// Usage text shared by every binary.
+const USAGE: &str = "usage: <fig binary> [--seeds N] [--threads N] [--out PATH]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<SweepArgs, String> {
+        SweepArgs::defaults(10).parse(words.iter().map(|w| w.to_string()))
+    }
+
+    #[test]
+    fn defaults_pass_through() {
+        assert_eq!(parse(&[]).unwrap(), SweepArgs { seeds: 10, threads: 1, out: None });
+    }
+
+    #[test]
+    fn flags_override_defaults_in_any_order() {
+        let args = parse(&["--threads", "4", "--out", "report.json", "--seeds", "40"]).unwrap();
+        assert_eq!(args, SweepArgs { seeds: 40, threads: 4, out: Some("report.json".to_string()) });
+    }
+
+    #[test]
+    fn zero_threads_clamp_to_one_but_zero_seeds_error() {
+        assert_eq!(parse(&["--threads", "0"]).unwrap().threads, 1);
+        assert!(parse(&["--seeds", "0"]).is_err());
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_usage() {
+        for bad in [vec!["--seeds"], vec!["--seeds", "many"], vec!["--frobnicate"], vec!["--help"]]
+        {
+            let err = parse(&bad).unwrap_err();
+            assert!(err.contains("usage:"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn seed_range_is_one_through_n() {
+        assert_eq!(parse(&["--seeds", "3"]).unwrap().seed_range(), 1..=3);
+    }
+}

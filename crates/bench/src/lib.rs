@@ -1,13 +1,30 @@
 //! Experiment harnesses reproducing the paper's figures and tables.
 //!
-//! One binary per figure/table lives under `src/bin/`; the shared
-//! machinery sits here so it can be unit-tested: [`run_matrix_cell`]
-//! resolves a seeded workload through one [`TransportConfig`] cell and
-//! aggregates the per-resolution cost, [`run_fleet_cell`] drives a whole
-//! stub fleet against one shared caching recursive resolver, and the
-//! `fig*_json` helpers serialise runs as single-line JSON documents
-//! (parseable by the in-tree `dns-wire::jsontext` codec — the workspace
-//! has no serde).
+//! The crate is organised around the sweep API every figure binary sits
+//! on:
+//!
+//! * [`sweep`] — the parallel sweep runner. A [`Cell`] is
+//!   one experiment configuration runnable under any seed;
+//!   [`SweepSpec`] fans a (cell × seed) grid out over
+//!   `std::thread` scoped workers pulling from a shared cursor; the
+//!   resulting [`SweepReport`] keeps canonical
+//!   (cell, seed) order, so `threads = 1` and `threads = N` render
+//!   byte-identical reports.
+//! * [`stats`] — per-cell aggregation over seeds: mean, median,
+//!   p5/p95/p99 percentiles and deterministic bootstrap 95% CI bands.
+//! * [`report`] — the one shared jsontext emitter (the workspace has no
+//!   serde): harnesses pick an experiment name, metadata, measurement
+//!   columns and stats metrics; rows and bands render as a single line
+//!   of JSON parseable by `dns-wire::jsontext`.
+//! * [`cli`] — the `--seeds N --threads N --out PATH` flags every fig
+//!   binary accepts.
+//!
+//! The simulation drivers feeding the cells live here:
+//! [`run_matrix_cell`] resolves a seeded workload through one
+//! [`TransportConfig`] cell registered in a [`Driver`], and
+//! [`run_fleet_cell`] drives a whole stub fleet against one shared
+//! caching recursive resolver. Both are deterministic in their seed —
+//! the property the parallel runner rests on.
 //!
 //! The `benches/` targets are plain-main harnesses kept buildable without
 //! external benchmarking crates.
@@ -15,13 +32,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+
+pub use cli::SweepArgs;
+pub use report::{Report, Value};
+pub use sweep::{Cell, CellId, CellOutcome, FleetCell, MatrixCell, SweepReport, SweepSpec};
+
 use dohmark::dns::Name;
 use dohmark::doh::{
-    advance_endpoints_until, build_pair, drain_endpoints, resolve_with, Driver, RecursiveResolver,
-    ReusePolicy, ServerBackend, TransportConfig, TransportKind, Zone,
+    Driver, RecursiveResolver, ReusePolicy, ServerBackend, TransportConfig, TransportKind, Zone,
 };
 use dohmark::netsim::{Cost, LayerTag, Sim, SimDuration};
 use dohmark::workload::{FleetSchedule, QuerySchedule};
+use std::fmt;
 
 /// RNG stream label the harnesses draw their workload from.
 pub const WORKLOAD_STREAM: u64 = 7;
@@ -53,24 +79,71 @@ pub struct CellRun {
     pub header_bytes_per_query: Vec<u64>,
 }
 
+impl CellRun {
+    /// This run as a sweep outcome: identity fields every row repeats
+    /// plus the selectable measurement columns (including the derived
+    /// `bytes_per_packet`).
+    pub fn outcome(&self) -> CellOutcome {
+        let layers = Value::Object(
+            self.layers
+                .iter()
+                .map(|(tag, bytes)| (tag.label().to_lowercase(), Value::fixed2(*bytes)))
+                .collect(),
+        );
+        CellOutcome {
+            identity: vec![
+                ("transport".to_string(), Value::Str(self.transport.clone())),
+                ("reuse".to_string(), Value::Str(self.reuse.clone())),
+                ("resumed".to_string(), Value::Bool(self.resumed)),
+            ],
+            fields: vec![
+                ("bytes_per_resolution".to_string(), Value::fixed2(self.bytes_per_resolution)),
+                ("packets_per_resolution".to_string(), Value::fixed2(self.packets_per_resolution)),
+                (
+                    "bytes_per_packet".to_string(),
+                    Value::fixed2(self.bytes_per_resolution / self.packets_per_resolution.max(1.0)),
+                ),
+                (
+                    "steady_bytes_per_resolution".to_string(),
+                    Value::fixed2(self.steady_bytes_per_resolution),
+                ),
+                ("layers".to_string(), layers),
+                (
+                    "header_bytes_per_query".to_string(),
+                    Value::Array(
+                        self.header_bytes_per_query.iter().map(|&b| Value::U64(b)).collect(),
+                    ),
+                ),
+            ],
+        }
+    }
+}
+
 /// Resolves `resolutions` queries of a seeded Poisson workload through
-/// the cell described by `cfg` and returns the per-resolution means
+/// the cell described by `cfg` — registered in a [`Driver`] with
+/// addressed wake routing — and returns the per-resolution means
 /// (attribution 0, the persistent-connection setup, is amortised across
 /// all resolutions — the view the paper's Figure 3 plots).
 pub fn run_matrix_cell(cfg: &TransportConfig, seed: u64, resolutions: u16) -> CellRun {
     let mut sim = Sim::new(seed);
-    let (mut client, mut server) = build_pair(&mut sim, cfg);
+    let stub = sim.add_host("stub");
+    let resolver = sim.add_host("resolver");
+    sim.add_link(stub, resolver, cfg.link);
+    let mut driver = Driver::new();
+    driver.register(&mut sim, |sim| cfg.build_server(sim, resolver));
+    let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
     let mut rng = sim.split_rng(WORKLOAD_STREAM);
     let zone = Name::parse("dohmark.test").unwrap();
     let schedule = QuerySchedule::new(&mut rng, SimDuration::from_millis(50), 8, &zone);
     for (i, (at, name)) in schedule.take(usize::from(resolutions)).enumerate() {
-        advance_endpoints_until(&mut sim, &mut [client.as_mut(), server.as_mut()], at);
+        driver.advance_until(&mut sim, at);
         let id = i as u16 + 1;
-        resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, id)
+        driver
+            .resolve(&mut sim, client, &name, id)
             .unwrap_or_else(|| panic!("{} seed {seed} id {id} did not resolve", cfg.label()));
     }
-    client.close(&mut sim);
-    drain_endpoints(&mut sim, &mut [client.as_mut(), server.as_mut()]);
+    driver.close(&mut sim, client);
+    driver.run_until_quiescent(&mut sim);
 
     let mut sum = Cost::default();
     let mut steady_bytes = 0u64;
@@ -100,95 +173,33 @@ pub fn run_matrix_cell(cfg: &TransportConfig, seed: u64, resolutions: u16) -> Ce
     }
 }
 
-/// Writes the identifying prefix every per-cell row shares:
-/// `{"cell": …, "transport": …, "reuse": …, "resumed": …, "seed": …`.
-fn push_cell_prefix(out: &mut String, run: &CellRun) {
-    out.push_str("{\"cell\": ");
-    dohmark::dns::jsontext::write_escaped(out, &run.label);
-    out.push_str(&format!(
-        ", \"transport\": \"{}\", \"reuse\": \"{}\", \"resumed\": {}, \"seed\": {}",
-        run.transport, run.reuse, run.resumed, run.seed
-    ));
+/// The most queries one fleet run can drive: transaction ids are `u16`,
+/// id 0 is reserved, and every query needs a globally unique id — so
+/// `clients × queries_per_client` must not exceed 65534. Growing fleets
+/// past this needs a wider id space first (see ROADMAP).
+pub const MAX_FLEET_QUERIES: usize = u16::MAX as usize - 1;
+
+/// A fleet configuration asked for more queries than the `u16`
+/// transaction-id space can globally distinguish
+/// (see [`MAX_FLEET_QUERIES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnSpaceExhausted {
+    /// The `clients × queries_per_client` total that was requested.
+    pub requested: usize,
 }
 
-/// Writes `run`'s per-layer byte means as a `"layers": {…}` object.
-fn push_layers(out: &mut String, run: &CellRun) {
-    out.push_str("\"layers\": {");
-    for (j, (tag, bytes)) in run.layers.iter().enumerate() {
-        if j > 0 {
-            out.push_str(", ");
-        }
-        out.push_str(&format!("\"{}\": {bytes:.2}", tag.label().to_lowercase()));
+impl fmt::Display for TxnSpaceExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fleet needs {} globally unique transaction ids, but the u16 id space \
+             holds at most {MAX_FLEET_QUERIES}",
+            self.requested
+        )
     }
-    out.push('}');
 }
 
-/// Serialises Figure 3 runs as one line of JSON on the shape
-/// `{"experiment": …, "resolutions": …, "rows": [{…}, …]}`.
-pub fn fig3_json(resolutions: u16, runs: &[CellRun]) -> String {
-    let mut out = String::from("{\"experiment\": \"fig3_bytes_per_resolution\", ");
-    out.push_str(&format!("\"resolutions\": {resolutions}, \"rows\": ["));
-    for (i, run) in runs.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        push_cell_prefix(&mut out, run);
-        out.push_str(&format!(
-            ", \"bytes_per_resolution\": {:.2}, \"packets_per_resolution\": {:.2}, \
-             \"steady_bytes_per_resolution\": {:.2}, ",
-            run.bytes_per_resolution, run.packets_per_resolution, run.steady_bytes_per_resolution,
-        ));
-        push_layers(&mut out, run);
-        out.push_str(", \"header_bytes_per_query\": [");
-        for (j, bytes) in run.header_bytes_per_query.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&bytes.to_string());
-        }
-        out.push_str("]}");
-    }
-    out.push_str("]}");
-    out
-}
-
-/// Serialises Figure 4 runs (packets per resolution) as one line of JSON
-/// on the shape `{"experiment": …, "resolutions": …, "rows": [{…}, …]}`.
-pub fn fig4_json(resolutions: u16, runs: &[CellRun]) -> String {
-    let mut out = String::from("{\"experiment\": \"fig4_packets_per_resolution\", ");
-    out.push_str(&format!("\"resolutions\": {resolutions}, \"rows\": ["));
-    for (i, run) in runs.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        push_cell_prefix(&mut out, run);
-        out.push_str(&format!(
-            ", \"packets_per_resolution\": {:.2}, \"bytes_per_packet\": {:.2}}}",
-            run.packets_per_resolution,
-            run.bytes_per_resolution / run.packets_per_resolution.max(1.0),
-        ));
-    }
-    out.push_str("]}");
-    out
-}
-
-/// Serialises Figure 5 runs (per-layer byte breakdown) as one line of
-/// JSON on the shape `{"experiment": …, "resolutions": …, "rows": […]}`.
-pub fn fig5_json(resolutions: u16, runs: &[CellRun]) -> String {
-    let mut out = String::from("{\"experiment\": \"fig5_layer_breakdown\", ");
-    out.push_str(&format!("\"resolutions\": {resolutions}, \"rows\": ["));
-    for (i, run) in runs.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        push_cell_prefix(&mut out, run);
-        out.push_str(&format!(", \"bytes_per_resolution\": {:.2}, ", run.bytes_per_resolution));
-        push_layers(&mut out, run);
-        out.push('}');
-    }
-    out.push_str("]}");
-    out
-}
+impl std::error::Error for TxnSpaceExhausted {}
 
 /// Parameters of one fleet run: `clients` stub resolvers sharing one
 /// caching recursive resolver (over the `transport` cell) which fetches
@@ -199,7 +210,9 @@ pub struct FleetConfig {
     pub transport: TransportConfig,
     /// Number of stub clients, each on its own host.
     pub clients: usize,
-    /// Queries each client issues (Poisson arrivals).
+    /// Queries each client issues (Poisson arrivals). The run total
+    /// `clients × queries_per_client` is capped at
+    /// [`MAX_FLEET_QUERIES`] by the u16 transaction-id space.
     pub queries_per_client: usize,
     /// Size of the shared Zipf name universe — the knob that sets the
     /// cache-hit ratio for a fixed query count.
@@ -226,6 +239,21 @@ impl FleetConfig {
             cache_capacity: 1 << 16,
             mean_gap: SimDuration::from_millis(200),
         }
+    }
+
+    /// Total queries the run will drive.
+    pub fn total_queries(&self) -> usize {
+        self.clients * self.queries_per_client
+    }
+
+    /// Errors if the run needs more globally unique transaction ids than
+    /// the `u16` space holds ([`MAX_FLEET_QUERIES`]).
+    pub fn check_txn_space(&self) -> Result<(), TxnSpaceExhausted> {
+        let requested = self.total_queries();
+        if requested > MAX_FLEET_QUERIES {
+            return Err(TxnSpaceExhausted { requested });
+        }
+        Ok(())
     }
 }
 
@@ -268,14 +296,49 @@ pub struct FleetRun {
     pub stub_bytes_per_resolution: f64,
 }
 
+impl FleetRun {
+    /// This run as a sweep outcome: identity fields (transport, fleet
+    /// shape) plus the selectable measurement columns.
+    pub fn outcome(&self) -> CellOutcome {
+        CellOutcome {
+            identity: vec![
+                ("transport".to_string(), Value::Str(self.transport.clone())),
+                ("reuse".to_string(), Value::Str(self.reuse.clone())),
+                ("clients".to_string(), Value::U64(self.clients as u64)),
+                ("queries".to_string(), Value::U64(self.queries as u64)),
+                ("universe".to_string(), Value::U64(self.universe as u64)),
+            ],
+            fields: vec![
+                ("distinct_names".to_string(), Value::U64(self.distinct_names as u64)),
+                ("cache_hits".to_string(), Value::U64(self.cache_hits)),
+                ("cache_misses".to_string(), Value::U64(self.cache_misses)),
+                ("hit_ratio".to_string(), Value::Fixed(self.hit_ratio, 4)),
+                ("upstream_queries".to_string(), Value::U64(self.upstream_queries)),
+                ("upstream_bytes".to_string(), Value::U64(self.upstream_bytes)),
+                ("total_bytes".to_string(), Value::U64(self.total_bytes)),
+                ("bytes_per_resolution".to_string(), Value::fixed2(self.bytes_per_resolution)),
+                (
+                    "stub_bytes_per_resolution".to_string(),
+                    Value::fixed2(self.stub_bytes_per_resolution),
+                ),
+            ],
+        }
+    }
+}
+
 /// Drives one fleet cell: builds `clients` stub hosts around a single
 /// recursive resolver (shared cache, Do53 upstream with a synthetic
 /// authoritative [`Zone`]), registers everything in a [`Driver`] for
 /// addressed wake routing, and resolves a seeded [`FleetSchedule`] with
 /// globally unique transaction ids. Deterministic in `seed`.
-pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> FleetRun {
-    let total = cfg.clients * cfg.queries_per_client;
-    assert!(total < usize::from(u16::MAX), "transaction ids are u16");
+///
+/// Errors with [`TxnSpaceExhausted`] when `clients × queries_per_client`
+/// exceeds [`MAX_FLEET_QUERIES`] — the `u16` transaction-id space cannot
+/// label that many in-flight resolutions uniquely, and wrapping would
+/// silently cross-wire responses.
+pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, TxnSpaceExhausted> {
+    cfg.check_txn_space()?;
+    let total = cfg.total_queries();
 
     let mut sim = Sim::new(seed);
     let resolver = sim.add_host("resolver");
@@ -331,7 +394,7 @@ pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> FleetRun {
     let upstream_bytes = sim.meter.counter("upstream_bytes");
     let total_bytes = sim.meter.total().bytes;
     let n = total as f64;
-    FleetRun {
+    Ok(FleetRun {
         label: cfg.transport.label(),
         transport: cfg.transport.kind.label().to_string(),
         reuse: cfg.transport.reuse.label().to_string(),
@@ -348,46 +411,7 @@ pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> FleetRun {
         total_bytes,
         bytes_per_resolution: total_bytes as f64 / n,
         stub_bytes_per_resolution: total_bytes.saturating_sub(upstream_bytes) as f64 / n,
-    }
-}
-
-/// Serialises cache-hit-cost runs as one line of JSON on the shape
-/// `{"experiment": "fig_cache_hit_cost", "clients": …, "rows": […]}` —
-/// each row pairs a transport cell's `hit_ratio` with its
-/// `bytes_per_resolution`, the relation the experiment plots.
-pub fn fig_cache_hit_cost_json(runs: &[FleetRun]) -> String {
-    let mut out = String::from("{\"experiment\": \"fig_cache_hit_cost\", \"rows\": [");
-    for (i, run) in runs.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        out.push_str("{\"cell\": ");
-        dohmark::dns::jsontext::write_escaped(&mut out, &run.label);
-        out.push_str(&format!(
-            ", \"transport\": \"{}\", \"reuse\": \"{}\", \"seed\": {}, \"clients\": {}, \
-             \"queries\": {}, \"universe\": {}, \"distinct_names\": {}, \"cache_hits\": {}, \
-             \"cache_misses\": {}, \"hit_ratio\": {:.4}, \"upstream_queries\": {}, \
-             \"upstream_bytes\": {}, \"total_bytes\": {}, \"bytes_per_resolution\": {:.2}, \
-             \"stub_bytes_per_resolution\": {:.2}}}",
-            run.transport,
-            run.reuse,
-            run.seed,
-            run.clients,
-            run.queries,
-            run.universe,
-            run.distinct_names,
-            run.cache_hits,
-            run.cache_misses,
-            run.hit_ratio,
-            run.upstream_queries,
-            run.upstream_bytes,
-            run.total_bytes,
-            run.bytes_per_resolution,
-            run.stub_bytes_per_resolution,
-        ));
-    }
-    out.push_str("]}");
-    out
+    })
 }
 
 /// The four transport cells the fleet experiments sweep: Do53 plus the
@@ -409,16 +433,31 @@ mod tests {
     use dohmark::doh::{ReusePolicy, TransportKind};
 
     #[test]
-    fn fig3_json_is_valid_jsontext_with_the_expected_shape() {
-        let cells = [
-            TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh),
-            TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent),
-        ];
-        let runs: Vec<CellRun> =
-            cells.iter().flat_map(|c| (1..=2u64).map(|s| run_matrix_cell(c, s, 3))).collect();
-        let doc = fig3_json(3, &runs);
+    fn matrix_sweep_report_is_valid_jsontext_with_the_fig3_shape() {
+        let sweep = SweepSpec::new()
+            .cell(MatrixCell {
+                cfg: TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh),
+                resolutions: 3,
+            })
+            .cell(MatrixCell {
+                cfg: TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent),
+                resolutions: 3,
+            })
+            .seeds(1..=2)
+            .run();
+        let doc = Report::new("fig3_bytes_per_resolution")
+            .meta("resolutions", Value::U64(3))
+            .columns(&[
+                "bytes_per_resolution",
+                "packets_per_resolution",
+                "steady_bytes_per_resolution",
+                "layers",
+                "header_bytes_per_query",
+            ])
+            .stats(&["bytes_per_resolution"])
+            .render(&sweep);
         assert!(!doc.contains('\n'), "one line of JSON");
-        let parsed = jsontext::parse(&doc).expect("harness output must parse");
+        let parsed = jsontext::parse(&doc).expect("report output must parse");
         assert_eq!(
             parsed.get("experiment").and_then(|v| v.as_str()),
             Some("fig3_bytes_per_resolution")
@@ -427,6 +466,7 @@ mod tests {
         let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
         assert_eq!(rows.len(), 4);
         let row = &rows[3];
+        assert_eq!(row.get("cell").and_then(|v| v.as_str()), Some("doh-h2 persistent"));
         assert_eq!(row.get("transport").and_then(|v| v.as_str()), Some("doh-h2"));
         assert_eq!(row.get("reuse").and_then(|v| v.as_str()), Some("persistent"));
         assert_eq!(row.get("seed").and_then(|v| v.as_u64()), Some(2));
@@ -444,29 +484,44 @@ mod tests {
             .expect("header_bytes_per_query array");
         assert_eq!(headers.len(), 3, "one header-bytes entry per query");
         assert!(headers[0].as_u64().unwrap() > 0, "doh-h2 queries carry header bytes");
+
+        // The stats layer emits one band per (cell, metric), p5/p95
+        // included — the publication-grade view of the same sweep.
+        let bands = parsed.get("stats").and_then(|v| v.as_array()).expect("stats array");
+        assert_eq!(bands.len(), 2, "one summary per cell");
+        for band in bands {
+            assert_eq!(band.get("metric").and_then(|v| v.as_str()), Some("bytes_per_resolution"));
+            assert_eq!(band.get("n").and_then(|v| v.as_u64()), Some(2));
+            for key in ["mean", "median", "p5", "p95", "p99", "ci95_lo", "ci95_hi"] {
+                assert!(band.get(key).is_some(), "missing stat {key}");
+            }
+        }
     }
 
     #[test]
-    fn fig4_and_fig5_json_are_valid_jsontext_with_their_expected_shapes() {
-        let cfg = TransportConfig::new(TransportKind::Dot, ReusePolicy::Fresh);
-        let runs = [run_matrix_cell(&cfg, 3, 3)];
+    fn column_selection_narrows_rows_like_fig4_and_fig5() {
+        let sweep = SweepSpec::new()
+            .cell(MatrixCell {
+                cfg: TransportConfig::new(TransportKind::Dot, ReusePolicy::Fresh),
+                resolutions: 3,
+            })
+            .seeds([3])
+            .run();
 
-        let fig4 = fig4_json(3, &runs);
-        assert!(!fig4.contains('\n'));
+        let fig4 = Report::new("fig4_packets_per_resolution")
+            .columns(&["packets_per_resolution", "bytes_per_packet"])
+            .render(&sweep);
         let parsed = jsontext::parse(&fig4).expect("fig4 output must parse");
-        assert_eq!(
-            parsed.get("experiment").and_then(|v| v.as_str()),
-            Some("fig4_packets_per_resolution")
-        );
         let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
         assert_eq!(rows.len(), 1);
         assert!(rows[0].get("packets_per_resolution").is_some());
         assert!(rows[0].get("bytes_per_packet").is_some());
+        assert!(rows[0].get("layers").is_none(), "unselected columns must not leak");
 
-        let fig5 = fig5_json(3, &runs);
-        assert!(!fig5.contains('\n'));
+        let fig5 = Report::new("fig5_layer_breakdown")
+            .columns(&["bytes_per_resolution", "layers"])
+            .render(&sweep);
         let parsed = jsontext::parse(&fig5).expect("fig5 output must parse");
-        assert_eq!(parsed.get("experiment").and_then(|v| v.as_str()), Some("fig5_layer_breakdown"));
         let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
         let layers = rows[0].get("layers").expect("layers object");
         for key in ["body", "hdr", "mgmt", "tls", "tcp", "dns"] {
@@ -490,8 +545,8 @@ mod tests {
             TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh),
             TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent),
         ] {
-            let broad = run_fleet_cell(&FleetConfig::new(transport.clone(), 24, 500), 5);
-            let narrow = run_fleet_cell(&FleetConfig::new(transport, 24, 4), 5);
+            let broad = run_fleet_cell(&FleetConfig::new(transport.clone(), 24, 500), 5).unwrap();
+            let narrow = run_fleet_cell(&FleetConfig::new(transport, 24, 4), 5).unwrap();
             assert_eq!(broad.queries, 48);
             assert_eq!(broad.cache_hits + broad.cache_misses, 48);
             assert!(
@@ -511,15 +566,41 @@ mod tests {
     }
 
     #[test]
-    fn fig_cache_hit_cost_json_is_valid_jsontext_with_the_expected_shape() {
+    fn oversized_fleets_get_a_typed_error_not_a_wrapped_txn_id() {
+        let cfg = FleetConfig::new(
+            TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh),
+            40_000,
+            100,
+        );
+        // 40,000 clients × 2 queries = 80,000 > 65,534 u16 ids.
+        let err = run_fleet_cell(&cfg, 1).unwrap_err();
+        assert_eq!(err, TxnSpaceExhausted { requested: 80_000 });
+        assert!(err.to_string().contains("65534"), "{err}");
+        assert_eq!(FleetCell::new(cfg).unwrap_err().requested, 80_000);
+
+        // The largest legal fleet passes validation (without running it).
+        let mut max = FleetConfig::new(
+            TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh),
+            MAX_FLEET_QUERIES,
+            100,
+        );
+        max.queries_per_client = 1;
+        assert!(max.check_txn_space().is_ok());
+    }
+
+    #[test]
+    fn fleet_sweep_report_is_valid_jsontext_with_the_cache_hit_shape() {
         let cfg = TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh);
-        let runs = [
-            run_fleet_cell(&FleetConfig::new(cfg.clone(), 10, 100), 1),
-            run_fleet_cell(&FleetConfig::new(cfg, 10, 3), 1),
-        ];
-        let doc = fig_cache_hit_cost_json(&runs);
+        let sweep = SweepSpec::new()
+            .cell(FleetCell::new(FleetConfig::new(cfg.clone(), 10, 100)).unwrap())
+            .cell(FleetCell::new(FleetConfig::new(cfg, 10, 3)).unwrap())
+            .seeds([1])
+            .run();
+        let doc = Report::new("fig_cache_hit_cost")
+            .stats(&["bytes_per_resolution", "hit_ratio"])
+            .render(&sweep);
         assert!(!doc.contains('\n'), "one line of JSON");
-        let parsed = jsontext::parse(&doc).expect("harness output must parse");
+        let parsed = jsontext::parse(&doc).expect("report output must parse");
         assert_eq!(parsed.get("experiment").and_then(|v| v.as_str()), Some("fig_cache_hit_cost"));
         let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
         assert_eq!(rows.len(), 2);
@@ -542,5 +623,10 @@ mod tests {
         }
         assert_eq!(rows[0].get("universe").and_then(|v| v.as_u64()), Some(100));
         assert_eq!(rows[1].get("universe").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(
+            parsed.get("stats").and_then(|v| v.as_array()).map(<[_]>::len),
+            Some(4),
+            "two cells × two metrics"
+        );
     }
 }

@@ -1,0 +1,281 @@
+//! The parallel sweep runner behind every figure harness.
+//!
+//! A sweep is a (cell × seed) grid of independent deterministic
+//! simulations — embarrassingly parallel, in the portfolio/worker style.
+//! The pieces:
+//!
+//! * [`Cell`] — one experiment configuration that can run under any seed.
+//!   Both the transport-matrix runner ([`MatrixCell`] over
+//!   [`run_matrix_cell`](crate::run_matrix_cell)) and the fleet runner
+//!   ([`FleetCell`] over [`run_fleet_cell`](crate::run_fleet_cell))
+//!   implement it, so one runner drives every experiment shape.
+//! * [`SweepSpec`] — the builder: cells, seeds, worker threads.
+//! * [`SweepReport`] — results in **canonical (cell, seed) order**,
+//!   independent of worker interleaving: workers pull tasks from a shared
+//!   atomic cursor (work stealing from one global queue) and tag each
+//!   outcome with its grid index, so `threads = 1` and `threads = N`
+//!   produce bit-identical reports — asserted by the cross-thread
+//!   determinism tests and cheap to re-check in any harness.
+//!
+//! Worker threads are `std::thread` scoped spawns; the runner adds no
+//! dependencies and owns no global state.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use crate::report::Value;
+
+/// Stable identifier of one sweep cell — keys result rows and stats.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(String);
+
+impl CellId {
+    /// Wraps a label (cell ids must be unique within one sweep).
+    pub fn new(label: impl Into<String>) -> CellId {
+        CellId(label.into())
+    }
+
+    /// The label as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What one (cell, seed) run produced: identity fields every row repeats
+/// (transport, reuse, …) and named measurement fields the harness selects
+/// columns and statistics from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Identifying fields, always emitted on every report row.
+    pub identity: Vec<(String, Value)>,
+    /// Measured fields, selectable as report columns; numeric ones
+    /// ([`Value::as_f64`]) feed the stats layer.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl CellOutcome {
+    /// Looks up a measurement field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// One experiment configuration, runnable under any seed.
+///
+/// `Sync` because a sweep shares each cell immutably across worker
+/// threads; `run` must be deterministic in `seed` (the cross-thread
+/// byte-identity guarantee rests on it).
+pub trait Cell: Sync {
+    /// Stable unique id of this cell within its sweep.
+    fn id(&self) -> CellId;
+
+    /// Runs the experiment under `seed`.
+    fn run(&self, seed: u64) -> CellOutcome;
+}
+
+/// A transport-matrix cell: one [`TransportConfig`](dohmark::doh::TransportConfig) resolving a seeded
+/// Poisson workload of `resolutions` queries
+/// (via [`run_matrix_cell`](crate::run_matrix_cell)).
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// The transport cell to drive.
+    pub cfg: dohmark::doh::TransportConfig,
+    /// Queries resolved per run.
+    pub resolutions: u16,
+}
+
+impl Cell for MatrixCell {
+    fn id(&self) -> CellId {
+        CellId::new(self.cfg.label())
+    }
+
+    fn run(&self, seed: u64) -> CellOutcome {
+        crate::run_matrix_cell(&self.cfg, seed, self.resolutions).outcome()
+    }
+}
+
+/// A fleet cell: `clients` stubs sharing one caching recursive resolver
+/// (via [`run_fleet_cell`](crate::run_fleet_cell)). Construction
+/// validates the transaction-id budget up front, so `run` cannot hit the
+/// typed [`TxnSpaceExhausted`](crate::TxnSpaceExhausted) error mid-sweep.
+#[derive(Debug, Clone)]
+pub struct FleetCell {
+    cfg: crate::FleetConfig,
+}
+
+impl FleetCell {
+    /// Wraps a validated fleet configuration; errors if
+    /// `clients × queries_per_client` exceeds the u16 transaction-id
+    /// space (see [`MAX_FLEET_QUERIES`](crate::MAX_FLEET_QUERIES)).
+    pub fn new(cfg: crate::FleetConfig) -> Result<FleetCell, crate::TxnSpaceExhausted> {
+        cfg.check_txn_space()?;
+        Ok(FleetCell { cfg })
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &crate::FleetConfig {
+        &self.cfg
+    }
+}
+
+impl Cell for FleetCell {
+    fn id(&self) -> CellId {
+        CellId::new(format!("{} universe={}", self.cfg.transport.label(), self.cfg.universe))
+    }
+
+    fn run(&self, seed: u64) -> CellOutcome {
+        crate::run_fleet_cell(&self.cfg, seed)
+            .expect("txn space validated at construction")
+            .outcome()
+    }
+}
+
+/// Builder for one sweep: which cells, which seeds, how many workers.
+#[derive(Default)]
+pub struct SweepSpec {
+    cells: Vec<Box<dyn Cell>>,
+    seeds: Vec<u64>,
+    threads: usize,
+}
+
+impl SweepSpec {
+    /// An empty spec (no cells, no seeds, one thread).
+    pub fn new() -> SweepSpec {
+        SweepSpec { cells: Vec::new(), seeds: Vec::new(), threads: 1 }
+    }
+
+    /// Appends one cell.
+    pub fn cell(mut self, cell: impl Cell + 'static) -> SweepSpec {
+        self.cells.push(Box::new(cell));
+        self
+    }
+
+    /// Appends already-boxed cells (heterogeneous sweeps).
+    pub fn cells(mut self, cells: impl IntoIterator<Item = Box<dyn Cell>>) -> SweepSpec {
+        self.cells.extend(cells);
+        self
+    }
+
+    /// Sets the seed list (replacing any previous one).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> SweepSpec {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to ≥ 1). The thread count
+    /// affects wall-clock only, never results.
+    pub fn threads(mut self, threads: usize) -> SweepSpec {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs every (cell, seed) task and returns results in canonical
+    /// cell-major, seed-minor order.
+    ///
+    /// With `threads = 1` the tasks run inline on the caller's thread;
+    /// otherwise scoped workers pull task indices from a shared atomic
+    /// cursor until the grid is exhausted, and the outcomes are
+    /// reassembled by index. A panicking cell propagates to the caller.
+    pub fn run(&self) -> SweepReport {
+        let tasks: Vec<(usize, usize)> = (0..self.cells.len())
+            .flat_map(|c| (0..self.seeds.len()).map(move |s| (c, s)))
+            .collect();
+        let run_task = |&(c, s): &(usize, usize)| self.cells[c].run(self.seeds[s]);
+
+        let outcomes: Vec<CellOutcome> = if self.threads == 1 {
+            tasks.iter().map(run_task).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut slots: Vec<Option<CellOutcome>> = tasks.iter().map(|_| None).collect();
+            let worker = || {
+                let mut done = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    done.push((i, run_task(task)));
+                }
+                done
+            };
+            thread::scope(|scope| {
+                // `&worker`, not `worker`: the same closure is spawned once
+                // per thread, so it must be borrowed, not moved.
+                #[allow(clippy::needless_borrows_for_generic_args)]
+                let handles: Vec<_> = (0..self.threads.min(tasks.len().max(1)))
+                    .map(|_| scope.spawn(&worker))
+                    .collect();
+                for handle in handles {
+                    match handle.join() {
+                        Ok(done) => {
+                            for (i, outcome) in done {
+                                slots[i] = Some(outcome);
+                            }
+                        }
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+            });
+            slots.into_iter().map(|slot| slot.expect("every task ran exactly once")).collect()
+        };
+
+        let entries = tasks
+            .iter()
+            .zip(outcomes)
+            .map(|(&(c, s), outcome)| SweepEntry {
+                cell: self.cells[c].id(),
+                seed: self.seeds[s],
+                outcome,
+            })
+            .collect();
+        SweepReport { entries }
+    }
+}
+
+/// One completed (cell, seed) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepEntry {
+    /// The cell that ran.
+    pub cell: CellId,
+    /// The seed it ran under.
+    pub seed: u64,
+    /// What it measured.
+    pub outcome: CellOutcome,
+}
+
+/// All results of one sweep, in canonical (cell, seed) order regardless
+/// of how many worker threads produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Cell-major, seed-minor: all seeds of the first cell, then the
+    /// second, …
+    pub entries: Vec<SweepEntry>,
+}
+
+impl SweepReport {
+    /// Distinct cell ids, in first-appearance order.
+    pub fn cells(&self) -> Vec<CellId> {
+        let mut cells: Vec<CellId> = Vec::new();
+        for entry in &self.entries {
+            if !cells.contains(&entry.cell) {
+                cells.push(entry.cell.clone());
+            }
+        }
+        cells
+    }
+
+    /// One cell's samples of a numeric metric, in seed order — what the
+    /// stats layer summarises.
+    pub fn metric(&self, cell: &CellId, field: &str) -> Vec<f64> {
+        self.entries
+            .iter()
+            .filter(|e| &e.cell == cell)
+            .filter_map(|e| e.outcome.field(field).and_then(Value::as_f64))
+            .collect()
+    }
+}

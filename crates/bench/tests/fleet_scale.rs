@@ -23,8 +23,8 @@ fn thousand_client_fleet_is_bit_for_bit_deterministic_on_every_transport() {
         let cfg = thousand_client_cell(transport);
         let mut per_seed = Vec::new();
         for seed in [11u64, 12] {
-            let first = run_fleet_cell(&cfg, seed);
-            let second = run_fleet_cell(&cfg, seed);
+            let first = run_fleet_cell(&cfg, seed).expect("1,000 queries fit the txn-id space");
+            let second = run_fleet_cell(&cfg, seed).expect("1,000 queries fit the txn-id space");
             assert_eq!(first, second, "{} seed {seed} must replay bit for bit", first.label);
             assert_eq!(first.queries, 1000);
             assert_eq!(

@@ -1,0 +1,108 @@
+//! Property tests for the stats layer: the interpolating percentile and
+//! the bootstrap CI are checked against brute-force references over many
+//! seeded random sample sets, not just hand-picked fixtures.
+
+use dohmark::netsim::SimRng;
+use dohmark_bench::stats::{bootstrap_ci, mean, median, percentile, summarize};
+
+/// Brute-force percentile: sort, then linearly interpolate between the
+/// two ranks bracketing `p/100 * (n - 1)`. Written independently of the
+/// library's implementation (indexing instead of fold) so a shared bug
+/// can't hide.
+fn reference_percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+}
+
+fn random_samples(rng: &mut SimRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.next_f64() * 1000.0 - 300.0).collect()
+}
+
+#[test]
+fn percentile_matches_brute_force_reference_on_random_samples() {
+    let mut rng = SimRng::new(0x57A75);
+    for len in [1, 2, 3, 7, 64, 501] {
+        for _ in 0..20 {
+            let samples = random_samples(&mut rng, len);
+            for p in [0.0, 5.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+                let got = percentile(&samples, p);
+                let want = reference_percentile(&samples, p);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "percentile({p}) over {len} samples: got {got}, reference {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn percentile_is_bounded_and_monotone_in_p() {
+    let mut rng = SimRng::new(0xB0B);
+    for _ in 0..50 {
+        let samples = random_samples(&mut rng, 33);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for p in 0..=100 {
+            let v = percentile(&samples, f64::from(p));
+            assert!(v >= last, "percentile must be monotone in p");
+            assert!((min..=max).contains(&v), "percentile must stay within the sample range");
+            last = v;
+        }
+        assert_eq!(percentile(&samples, 0.0), min);
+        assert_eq!(percentile(&samples, 100.0), max);
+        assert_eq!(median(&samples), percentile(&samples, 50.0));
+    }
+}
+
+#[test]
+fn bootstrap_ci_brackets_the_mean_and_tightens_with_narrow_data() {
+    let mut rng = SimRng::new(0xC1);
+    for _ in 0..20 {
+        let samples = random_samples(&mut rng, 40);
+        let m = mean(&samples);
+        let (lo, hi) = bootstrap_ci(&samples, 256, 0.95, &mut SimRng::new(1));
+        assert!(lo <= hi, "CI must be ordered");
+        // Resample means are means of draws from the sample, so the band
+        // can never escape the sample range, and it must bracket the
+        // observed mean (the mean is itself a possible resample mean).
+        assert!(lo <= m && m <= hi, "CI [{lo}, {hi}] must bracket the sample mean {m}");
+    }
+    // Constant data: every resample mean is the constant.
+    let flat = vec![42.0; 16];
+    assert_eq!(bootstrap_ci(&flat, 256, 0.95, &mut SimRng::new(1)), (42.0, 42.0));
+}
+
+#[test]
+fn bootstrap_ci_narrows_as_samples_grow() {
+    // With 4x the samples of the same distribution the resample means
+    // concentrate, so the band should be distinctly narrower.
+    let mut rng = SimRng::new(0xD0);
+    let small = random_samples(&mut rng, 25);
+    let large: Vec<f64> = (0..16).flat_map(|_| small.clone()).collect();
+    let (lo_s, hi_s) = bootstrap_ci(&small, 512, 0.95, &mut SimRng::new(2));
+    let (lo_l, hi_l) = bootstrap_ci(&large, 512, 0.95, &mut SimRng::new(2));
+    assert!(
+        (hi_l - lo_l) < (hi_s - lo_s) * 0.6,
+        "400-sample band [{lo_l}, {hi_l}] should be well under the 25-sample band [{lo_s}, {hi_s}]"
+    );
+}
+
+#[test]
+fn summarize_agrees_with_its_parts() {
+    let mut rng = SimRng::new(0xE0);
+    let samples = random_samples(&mut rng, 80);
+    let summary = summarize(&samples);
+    assert_eq!(summary.n, 80);
+    assert_eq!(summary.mean, mean(&samples));
+    assert_eq!(summary.median, median(&samples));
+    assert_eq!(summary.p5, percentile(&samples, 5.0));
+    assert_eq!(summary.p95, percentile(&samples, 95.0));
+    assert_eq!(summary.p99, percentile(&samples, 99.0));
+    assert!(summary.ci95.0 <= summary.mean && summary.mean <= summary.ci95.1);
+}

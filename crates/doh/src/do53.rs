@@ -95,8 +95,10 @@ impl Do53Client {
         Do53Client { host, server, pending: Vec::new(), responses: Vec::new() }
     }
 
-    /// Sends the query and runs the simulation until its response arrives;
-    /// see [`crate::resolve_with`] for the driving semantics.
+    /// Sends the query and runs the simulation until its response arrives,
+    /// broadcasting every wake to `self` and `peer` — a two-endpoint
+    /// convenience; registry topologies use
+    /// [`Driver::resolve`](crate::Driver::resolve) instead.
     pub fn resolve(
         &mut self,
         sim: &mut Sim,
@@ -104,7 +106,7 @@ impl Do53Client {
         name: &Name,
         id: u16,
     ) -> Option<Message> {
-        crate::resolve_with(sim, self, peer, name, id)
+        crate::resolve_with_extras_impl(sim, self, peer, &mut [], name, id)
     }
 }
 

@@ -126,8 +126,10 @@ impl DohH1Client {
         }
     }
 
-    /// Sends the query and runs the simulation until its response arrives;
-    /// see [`crate::resolve_with`] for the driving semantics.
+    /// Sends the query and runs the simulation until its response arrives,
+    /// broadcasting every wake to `self` and `peer` — a two-endpoint
+    /// convenience; registry topologies use
+    /// [`Driver::resolve`](crate::Driver::resolve) instead.
     pub fn resolve(
         &mut self,
         sim: &mut Sim,
@@ -135,7 +137,7 @@ impl DohH1Client {
         name: &Name,
         id: u16,
     ) -> Option<Message> {
-        crate::resolve_with(sim, self, peer, name, id)
+        crate::resolve_with_extras_impl(sim, self, peer, &mut [], name, id)
     }
 }
 
@@ -441,7 +443,7 @@ mod tests {
         let name = Name::parse("abcdefgh.dohmark.test").unwrap();
         client.resolve(&mut sim, &mut server, &name, 1).unwrap();
         client.close(&mut sim);
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         assert!(!client.is_connected());
         assert_eq!(server.open_connections(), 0);
         let response = client.resolve(&mut sim, &mut server, &name, 2);

@@ -284,8 +284,10 @@ impl DohH2Client {
         sim.tcp_close(conn.tls.handle);
     }
 
-    /// Sends the query and runs the simulation until its response arrives;
-    /// see [`crate::resolve_with`] for the driving semantics.
+    /// Sends the query and runs the simulation until its response arrives,
+    /// broadcasting every wake to `self` and `peer` — a two-endpoint
+    /// convenience; registry topologies use
+    /// [`Driver::resolve`](crate::Driver::resolve) instead.
     pub fn resolve(
         &mut self,
         sim: &mut Sim,
@@ -293,7 +295,7 @@ impl DohH2Client {
         name: &Name,
         id: u16,
     ) -> Option<Message> {
-        crate::resolve_with(sim, self, peer, name, id)
+        crate::resolve_with_extras_impl(sim, self, peer, &mut [], name, id)
     }
 }
 
@@ -532,7 +534,7 @@ mod tests {
         let name = Name::parse("abcdefgh.dohmark.test").unwrap();
         let response = client.resolve(&mut sim, &mut server, &name, 1).unwrap();
         assert_eq!(response.answers[0].name, name);
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         let cost = sim.meter.cost(1);
         // Preface + SETTINGS both ways + ACKs + WINDOW_UPDATE + GOAWAY.
         assert!(cost.layers.http_mgmt > 100, "mgmt bytes {}", cost.layers.http_mgmt);
@@ -575,7 +577,7 @@ mod tests {
         client.resolve(&mut sim, &mut server, &name, 1).unwrap();
         let mgmt_before = sim.meter.cost(0).layers.http_mgmt;
         client.close(&mut sim);
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         // GOAWAY: 9-byte frame header + 8-byte payload, plus TLS framing.
         assert_eq!(sim.meter.cost(0).layers.http_mgmt, mgmt_before + 17);
         assert!(!client.is_connected());
@@ -590,7 +592,7 @@ mod tests {
         for id in 1..=3u16 {
             client.send_query(&mut sim, &name, id);
         }
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         for id in 1..=3u16 {
             assert!(client.take_response(id).is_some(), "id {id}");
         }

@@ -160,8 +160,10 @@ impl DotClient {
         self.conn.as_ref().is_some_and(|c| c.tls.established())
     }
 
-    /// Sends the query and runs the simulation until its response arrives;
-    /// see [`crate::resolve_with`] for the driving semantics.
+    /// Sends the query and runs the simulation until its response arrives,
+    /// broadcasting every wake to `self` and `peer` — a two-endpoint
+    /// convenience; registry topologies use
+    /// [`Driver::resolve`](crate::Driver::resolve) instead.
     pub fn resolve(
         &mut self,
         sim: &mut Sim,
@@ -169,7 +171,7 @@ impl DotClient {
         name: &Name,
         id: u16,
     ) -> Option<Message> {
-        crate::resolve_with(sim, self, peer, name, id)
+        crate::resolve_with_extras_impl(sim, self, peer, &mut [], name, id)
     }
 }
 
@@ -401,7 +403,7 @@ mod tests {
             client.resolve(&mut sim, &mut server, &name, id).unwrap();
             assert!(!client.is_connected(), "cold connection must close");
         }
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         assert_eq!(server.open_connections(), 0);
         let hs = handshake_bytes(&dot_tls()) as u64;
         // Both resolutions paid the full handshake independently.
@@ -435,7 +437,7 @@ mod tests {
         // must not close after the first answer and strand the second.
         client.send_query(&mut sim, &name, 1);
         client.send_query(&mut sim, &name, 2);
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         assert!(client.take_response(1).is_some());
         assert!(client.take_response(2).is_some());
         assert!(!client.is_connected(), "cold connection closes once drained");
@@ -450,11 +452,11 @@ mod tests {
         // closes; it must not be retransmitted on the next connection.
         client.send_query(&mut sim, &name, 1);
         client.close(&mut sim);
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         assert!(client.take_response(1).is_none());
         let response = client.resolve(&mut sim, &mut server, &name, 2);
         assert!(response.is_some(), "a fresh query after close must work");
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         assert!(client.take_response(1).is_none(), "stale query 1 must stay abandoned");
     }
 
@@ -465,7 +467,7 @@ mod tests {
         client.resolve(&mut sim, &mut server, &name, 1).unwrap();
         assert!(client.is_connected());
         client.close(&mut sim);
-        crate::drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+        crate::drain_endpoints_impl(&mut sim, &mut [&mut client, &mut server]);
         assert!(!client.is_connected());
         assert_eq!(server.open_connections(), 0);
     }

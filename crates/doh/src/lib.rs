@@ -52,13 +52,14 @@
 //! assert_eq!(response.answers.len(), 1);
 //! ```
 //!
-//! The pre-registry entry points remain: [`build_pair`] constructs an
-//! unregistered boxed client/server pair and [`resolve_with`] /
-//! [`drain_endpoints`] / [`advance_endpoints_until`] drive it by
-//! *broadcasting* every wake to every endpoint. They are thin wrappers
-//! over the same event-pump machinery the driver uses, so both dispatch
-//! models stay semantically aligned; broadcast is O(endpoints) per wake
-//! and fine for the two-endpoint topologies it serves.
+//! The pre-registry entry points remain for one release, **deprecated**:
+//! [`build_pair`] constructs an unregistered boxed client/server pair and
+//! [`resolve_with`] / [`drain_endpoints`] / [`advance_endpoints_until`]
+//! drive it by *broadcasting* every wake to every endpoint. They are thin
+//! shims over the same event-pump machinery the driver uses, so both
+//! dispatch models stay semantically aligned; new code should register
+//! endpoints in a [`Driver`] and use [`Driver::resolve`] /
+//! [`Driver::run_until_quiescent`] / [`Driver::advance_until`] instead.
 //!
 //! # Servers answer from pluggable backends
 //!
@@ -149,6 +150,8 @@ pub use Resolver as QueryClient;
 /// Wakes not consumed by either endpoint are discarded; use
 /// [`resolve_with_extras`] when other endpoints (old connections, other
 /// sessions) still need their teardown wakes.
+#[deprecated(note = "register the endpoints in a `Driver` and use `Driver::resolve`; \
+                     this broadcast shim will be removed next release")]
 pub fn resolve_with(
     sim: &mut Sim,
     client: &mut (impl Resolver + ?Sized),
@@ -156,14 +159,29 @@ pub fn resolve_with(
     name: &Name,
     id: u16,
 ) -> Option<Message> {
-    resolve_with_extras(sim, client, peer, &mut [], name, id)
+    resolve_with_extras_impl(sim, client, peer, &mut [], name, id)
 }
 
 /// [`resolve_with`], additionally routing every wake to the `extras`
 /// endpoints, so a multi-connection session (several DoH clients sharing
 /// one simulator, an old connection draining its FIN) cannot lose
 /// teardown wakes while one resolution is being driven.
+#[deprecated(note = "register every session in a `Driver` — addressed routing never loses \
+                     bystander wakes; this broadcast shim will be removed next release")]
 pub fn resolve_with_extras(
+    sim: &mut Sim,
+    client: &mut (impl Resolver + ?Sized),
+    peer: &mut dyn Endpoint,
+    extras: &mut [&mut dyn Endpoint],
+    name: &Name,
+    id: u16,
+) -> Option<Message> {
+    resolve_with_extras_impl(sim, client, peer, extras, name, id)
+}
+
+/// Non-deprecated body of [`resolve_with_extras`], shared with the
+/// per-transport `resolve` convenience methods.
+pub(crate) fn resolve_with_extras_impl(
     sim: &mut Sim,
     client: &mut (impl Resolver + ?Sized),
     peer: &mut dyn Endpoint,
@@ -178,7 +196,15 @@ pub fn resolve_with_extras(
 /// Runs the simulation to quiescence, dispatching every wake to all
 /// `endpoints` — unlike [`Sim::drain`], which discards wakes, so teardown
 /// traffic (FINs) still reaches the endpoints' state machines.
+#[deprecated(note = "register the endpoints in a `Driver` and use \
+                     `Driver::run_until_quiescent`; this broadcast shim will be removed \
+                     next release")]
 pub fn drain_endpoints(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint]) {
+    drain_endpoints_impl(sim, endpoints);
+}
+
+/// Non-deprecated body of [`drain_endpoints`], shared with in-crate tests.
+pub(crate) fn drain_endpoints_impl(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint]) {
     let mut route = driver::Broadcast { first: None, rest: endpoints };
     driver::drain_routed(sim, &mut route);
 }
@@ -190,6 +216,8 @@ pub const ADVANCE_TOKEN: u64 = u64::MAX;
 /// Advances the simulation to time `at`, dispatching every wake seen on
 /// the way (leftover ACKs, FIN teardown, late responses) to all
 /// `endpoints` — the idle time between two workload arrivals.
+#[deprecated(note = "register the endpoints in a `Driver` and use `Driver::advance_until`; \
+                     this broadcast shim will be removed next release")]
 pub fn advance_endpoints_until(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint], at: SimTime) {
     let mut route = driver::Broadcast { first: None, rest: endpoints };
     driver::advance_routed(sim, &mut route, at);

@@ -4,21 +4,26 @@
 //! A [`TransportConfig`] names one cell of the matrix — transport kind ×
 //! [`ReusePolicy`] × TLS resumption — plus the topology parameters every
 //! cell shares (link characteristics, the answer the resolver serves).
-//! [`build_pair`] turns a config into a boxed
-//! [`Resolver`]/[`Endpoint`] pair on a fresh two-host topology, so
-//! experiment harnesses iterate over configs instead of naming concrete
-//! client/server types:
+//! [`TransportConfig::build_server`] / [`TransportConfig::build_client`]
+//! are [`Driver`](crate::Driver) registration factories, so experiment
+//! harnesses iterate over configs instead of naming concrete client/server
+//! types:
 //!
 //! ```
 //! use dohmark_dns_wire::Name;
-//! use dohmark_doh::{build_pair, resolve_with, TransportConfig};
+//! use dohmark_doh::{Driver, TransportConfig};
 //! use dohmark_netsim::Sim;
 //!
 //! for cfg in TransportConfig::matrix() {
 //!     let mut sim = Sim::new(1);
-//!     let (mut client, mut server) = build_pair(&mut sim, &cfg);
+//!     let stub = sim.add_host("stub");
+//!     let resolver = sim.add_host("resolver");
+//!     sim.add_link(stub, resolver, cfg.link);
+//!     let mut driver = Driver::new();
+//!     driver.register(&mut sim, |sim| cfg.build_server(sim, resolver));
+//!     let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
 //!     let name = Name::parse("example.com").unwrap();
-//!     let response = resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, 1);
+//!     let response = driver.resolve(&mut sim, client, &name, 1);
 //!     assert!(response.is_some(), "{} failed", cfg.label());
 //! }
 //! ```
@@ -241,8 +246,10 @@ impl TransportConfig {
 }
 
 /// Builds the configured client/server pair on two fresh hosts ("stub",
-/// "resolver") joined by the config's link — one matrix cell ready to
-/// drive with [`crate::resolve_with`].
+/// "resolver") joined by the config's link — one matrix cell for the
+/// deprecated broadcast drive model; registry topologies use the
+/// `build_server`/`build_client` factories with a
+/// [`Driver`](crate::Driver) instead.
 pub fn build_pair(sim: &mut Sim, cfg: &TransportConfig) -> (Box<dyn Resolver>, Box<dyn Endpoint>) {
     let stub = sim.add_host("stub");
     let resolver = sim.add_host("resolver");
@@ -294,15 +301,19 @@ mod tests {
     fn every_matrix_cell_resolves_end_to_end() {
         for cfg in TransportConfig::matrix() {
             let mut sim = Sim::new(5);
-            let (mut client, mut server) = build_pair(&mut sim, &cfg);
+            let stub = sim.add_host("stub");
+            let resolver = sim.add_host("resolver");
+            sim.add_link(stub, resolver, cfg.link);
+            let mut driver = crate::Driver::new();
+            driver.register(&mut sim, |sim| cfg.build_server(sim, resolver));
+            let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
             let name = Name::parse("abcdefgh.dohmark.test").unwrap();
             for id in 1..=2u16 {
-                let response =
-                    crate::resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, id);
+                let response = driver.resolve(&mut sim, client, &name, id);
                 assert!(response.is_some(), "{} id {id} failed", cfg.label());
             }
-            client.close(&mut sim);
-            crate::drain_endpoints(&mut sim, &mut [client.as_mut(), server.as_mut()]);
+            driver.close(&mut sim, client);
+            driver.run_until_quiescent(&mut sim);
         }
     }
 
@@ -321,10 +332,15 @@ mod tests {
     fn resumption_shrinks_fresh_tls_bytes() {
         let run = |cfg: &TransportConfig| {
             let mut sim = Sim::new(9);
-            let (mut client, mut server) = build_pair(&mut sim, cfg);
+            let stub = sim.add_host("stub");
+            let resolver = sim.add_host("resolver");
+            sim.add_link(stub, resolver, cfg.link);
+            let mut driver = crate::Driver::new();
+            driver.register(&mut sim, |sim| cfg.build_server(sim, resolver));
+            let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
             let name = Name::parse("abcdefgh.dohmark.test").unwrap();
-            crate::resolve_with(&mut sim, client.as_mut(), server.as_mut(), &name, 1).unwrap();
-            crate::drain_endpoints(&mut sim, &mut [client.as_mut(), server.as_mut()]);
+            driver.resolve(&mut sim, client, &name, 1).unwrap();
+            driver.run_until_quiescent(&mut sim);
             sim.meter.cost(1).layers.tls
         };
         for kind in [TransportKind::Dot, TransportKind::DohH1, TransportKind::DohH2] {

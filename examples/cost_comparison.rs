@@ -6,53 +6,43 @@
 //! cost split by layer. Deterministic: two runs with the same seed produce
 //! byte-identical output.
 //!
+//! Each scenario is one [`TransportConfig`] cell registered in a
+//! [`Driver`] — the same addressed-routing drive loop the figure
+//! harnesses and fleet experiments use.
+//!
 //! Run with: `cargo run --example cost_comparison`
 
 use dohmark::dns::Name;
-use dohmark::doh::{
-    advance_endpoints_until, drain_endpoints, Do53Client, Do53Server, DotClient, DotServer,
-    Endpoint, ReusePolicy,
-};
-use dohmark::netsim::{Cost, CostMeter, LinkConfig, Sim, SimDuration};
-use dohmark::tls::{handshake_bytes, TlsConfig};
+use dohmark::doh::{Driver, ReusePolicy, TransportConfig, TransportKind};
+use dohmark::netsim::{Cost, CostMeter, Sim, SimDuration};
+use dohmark::tls::handshake_bytes;
 use dohmark::workload::QuerySchedule;
-use std::net::Ipv4Addr;
 
 const SEED: u64 = 42;
 const RESOLUTIONS: u16 = 20;
-/// Attribution id for persistent-connection setup (ids 1..=N are queries).
-const CONN_ATTR: u32 = 0;
-
-fn link() -> LinkConfig {
-    LinkConfig::with_rtt(SimDuration::from_millis(14)).bandwidth_mbps(50)
-}
-
-fn tls_config() -> TlsConfig {
-    TlsConfig::for_server("dns.example.net").alpn("dot")
-}
 
 /// One scenario: a fresh simulator, the same seeded workload, N sequential
-/// resolutions. Returns the meter and the wall-clock the run took.
-fn run<C, S>(
-    make: impl FnOnce(&mut Sim) -> (C, S),
-    mut resolve: impl FnMut(&mut Sim, &mut C, &mut S, &Name, u16),
-) -> CostMeter
-where
-    C: Endpoint,
-    S: Endpoint,
-{
+/// resolutions driven through a registered client/server pair.
+fn run(cfg: &TransportConfig) -> CostMeter {
     let mut sim = Sim::new(SEED);
-    let (mut client, mut server) = make(&mut sim);
+    let stub = sim.add_host("stub");
+    let resolver = sim.add_host("resolver");
+    sim.add_link(stub, resolver, cfg.link);
+    let mut driver = Driver::new();
+    driver.register(&mut sim, |sim| cfg.build_server(sim, resolver));
+    let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
     // The workload RNG is split from the simulator seed, so every
     // scenario resolves the identical (arrival, name) stream.
     let mut rng = sim.split_rng(0);
     let zone = Name::parse("dohmark.test").unwrap();
     let schedule = QuerySchedule::new(&mut rng, SimDuration::from_millis(50), 8, &zone);
     for (i, (at, name)) in schedule.take(usize::from(RESOLUTIONS)).enumerate() {
-        advance_endpoints_until(&mut sim, &mut [&mut client, &mut server], at);
-        resolve(&mut sim, &mut client, &mut server, &name, i as u16 + 1);
+        driver.advance_until(&mut sim, at);
+        driver
+            .resolve(&mut sim, client, &name, i as u16 + 1)
+            .unwrap_or_else(|| panic!("{} resolution {} completes", cfg.label(), i + 1));
     }
-    drain_endpoints(&mut sim, &mut [&mut client, &mut server]);
+    driver.run_until_quiescent(&mut sim);
     let mut meter = CostMeter::new();
     std::mem::swap(&mut meter, &mut sim.meter);
     meter
@@ -97,7 +87,10 @@ fn mean_row(label: &'static str, meter: &CostMeter, udp_transport: bool) -> Row 
 }
 
 fn main() {
-    let tls = tls_config();
+    let do53_cfg = TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh);
+    let dot_cold_cfg = TransportConfig::new(TransportKind::Dot, ReusePolicy::Fresh);
+    let dot_persistent_cfg = TransportConfig::new(TransportKind::Dot, ReusePolicy::Persistent);
+    let tls = dot_cold_cfg.tls().expect("dot uses tls");
     println!(
         "cost_comparison: {RESOLUTIONS} resolutions per scenario, seed {SEED}, \
          Poisson mean 50ms"
@@ -109,40 +102,10 @@ fn main() {
     );
     println!();
 
-    let answer = Ipv4Addr::new(192, 0, 2, 1);
-    let do53 = run(
-        |sim| {
-            let stub = sim.add_host("stub");
-            let resolver = sim.add_host("resolver");
-            sim.add_link(stub, resolver, link());
-            let server = Do53Server::bind(sim, resolver, 53, answer, 300);
-            (Do53Client::new(stub, (resolver, 53)), server)
-        },
-        |sim, client, server, name, id| {
-            client.resolve(sim, server, name, id).expect("do53 resolution completes");
-        },
-    );
-    let dot = |policy: ReusePolicy| {
-        run(
-            |sim| {
-                let stub = sim.add_host("stub");
-                let resolver = sim.add_host("resolver");
-                sim.add_link(stub, resolver, link());
-                let server = DotServer::bind(sim, resolver, 853, tls_config(), answer, 300);
-                (DotClient::new(stub, (resolver, 853), tls_config(), policy, CONN_ATTR), server)
-            },
-            |sim, client: &mut DotClient, server, name, id| {
-                client.resolve(sim, server, name, id).expect("dot resolution completes");
-            },
-        )
-    };
-    let dot_cold = dot(ReusePolicy::Fresh);
-    let dot_persistent = dot(ReusePolicy::Persistent);
-
     let rows = [
-        mean_row("do53 (udp)", &do53, true),
-        mean_row("dot cold", &dot_cold, false),
-        mean_row("dot persistent", &dot_persistent, false),
+        mean_row("do53 (udp)", &run(&do53_cfg), true),
+        mean_row("dot cold", &run(&dot_cold_cfg), false),
+        mean_row("dot persistent", &run(&dot_persistent_cfg), false),
     ];
 
     println!("mean per-resolution bytes on the wire (both directions):");

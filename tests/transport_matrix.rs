@@ -7,7 +7,7 @@
 //! same thing.
 
 use dohmark::dns::Name;
-use dohmark::doh::{drain_endpoints, resolve_with, ReusePolicy, TransportConfig, TransportKind};
+use dohmark::doh::{ReusePolicy, TransportConfig, TransportKind};
 use dohmark::netsim::Sim;
 use dohmark_bench::{run_matrix_cell, CellRun};
 
@@ -93,12 +93,18 @@ fn the_matrix_is_deterministic_under_a_fixed_seed() {
 }
 
 #[test]
+// The broadcast wrappers are deprecated shims kept for one release;
+// this test pins their semantics (bystander wake routing) until removal.
+// New code drives multi-session topologies through `Driver` instead.
+#[allow(deprecated)]
 fn resolve_with_extras_routes_wakes_to_bystander_endpoints() {
     // Two independent DoH/2 sessions on one simulator: driving a
     // resolution on the first must not swallow the second's teardown
     // wakes (the GOAWAY/FIN exchange after its client closed). Session B
     // uses concrete types so its connection state can be asserted.
-    use dohmark::doh::{build_pair_on, DohH2Client, DohH2Server, Resolver};
+    use dohmark::doh::{
+        build_pair_on, drain_endpoints, resolve_with, DohH2Client, DohH2Server, Resolver,
+    };
     use dohmark::tls::{TlsConfig, ALPN_H2};
     use std::net::Ipv4Addr;
 
