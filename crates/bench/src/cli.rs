@@ -72,10 +72,12 @@ impl SweepArgs {
         match SweepArgs::defaults(default_seeds).parse(std::env::args().skip(1)) {
             Ok(args) => args,
             Err(message) if message == USAGE => {
+                // simlint::allow(no-print-in-lib): this is the fig binaries' shared CLI front-end — usage goes to their stdout
                 println!("{message}");
                 std::process::exit(0);
             }
             Err(message) => {
+                // simlint::allow(no-print-in-lib): parse errors go to the invoking fig binary's stderr
                 eprintln!("{message}");
                 std::process::exit(2);
             }
@@ -95,6 +97,7 @@ impl SweepArgs {
                 std::fs::write(path, format!("{doc}\n"))
                     .unwrap_or_else(|e| panic!("writing {path}: {e}"));
             }
+            // simlint::allow(no-print-in-lib): emitting the report to stdout is this helper's contract with the fig binaries
             None => println!("{doc}"),
         }
     }

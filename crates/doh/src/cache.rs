@@ -88,6 +88,9 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct DnsCache {
     capacity: usize,
+    /// Keyed lookup only (get/insert/remove) — never iterated; ordered
+    /// traversal (eviction) goes through the `lru` index below
+    /// (no-unordered-iteration).
     entries: HashMap<CacheKey, Entry>,
     /// Recency index: stamp → key, oldest first.
     lru: BTreeMap<u64, CacheKey>,

@@ -237,10 +237,14 @@ pub struct DohH1Server {
     listener: ListenerId,
     tls_cfg: TlsConfig,
     backend: ServerBackend,
+    /// Keyed lookup only (the wake's own handle) — never iterated, so
+    /// the randomized order is unobservable (no-unordered-iteration).
     conns: HashMap<TcpHandle, H1ServerConn>,
     /// Parked queries: waiter token → the connection expecting the answer.
+    /// Keyed lookup only: drained in the backend's completion order.
     waiters: HashMap<u64, TcpHandle>,
     /// Responses ready to send, held until their turn in the pipeline.
+    /// Keyed lookup only: popped in each connection's FIFO order.
     ready: HashMap<u64, Message>,
     next_waiter: u64,
 }

@@ -62,10 +62,13 @@ struct H2Conn {
     encoder: hpack::Encoder,
     /// HPACK for header blocks this end receives.
     decoder: hpack::Decoder,
-    /// Reassembled DATA payloads per stream.
+    /// Reassembled DATA payloads per stream. Keyed lookup only (by the
+    /// arriving frame's stream id) — never iterated, so the randomized
+    /// order is unobservable (no-unordered-iteration).
     bodies: HashMap<u32, Vec<u8>>,
     /// Streams whose HEADERS carried a non-200 `:status`; their DATA is
     /// not a DNS answer (mirrors the h1 client's status check).
+    /// Keyed membership test only — never iterated.
     failed_streams: HashSet<u32>,
     /// Whether the h2 layer has started (preface/SETTINGS sent).
     started: bool,
@@ -370,10 +373,13 @@ pub struct DohH2Server {
     listener: ListenerId,
     tls_cfg: TlsConfig,
     backend: ServerBackend,
+    /// Keyed lookup only (the wake's own handle) — never iterated, so
+    /// the randomized order is unobservable (no-unordered-iteration).
     conns: HashMap<TcpHandle, H2ServerConn>,
     /// Parked queries: waiter token → (connection, stream) expecting the
     /// answer. Streams multiplex, so — unlike h1 — a parked stream never
     /// blocks a cache hit on another stream of the same connection.
+    /// Keyed lookup only: drained in the backend's completion order.
     waiters: HashMap<u64, (TcpHandle, u32)>,
     next_waiter: u64,
 }

@@ -257,8 +257,11 @@ pub struct DotServer {
     listener: ListenerId,
     tls_cfg: TlsConfig,
     backend: ServerBackend,
+    /// Keyed lookup only (the wake's own handle) — never iterated, so
+    /// the randomized order is unobservable (no-unordered-iteration).
     conns: HashMap<TcpHandle, DotConn>,
     /// Parked queries: waiter token → the connection expecting the answer.
+    /// Keyed lookup only: drained in the backend's completion order.
     waiters: HashMap<u64, TcpHandle>,
     next_waiter: u64,
 }

@@ -180,6 +180,8 @@ pub struct Sim {
     heap: BinaryHeap<Reverse<Ev>>,
     next_seq: u64,
     hosts: Vec<String>,
+    /// Keyed lookup only ((src, dst) route resolution) — never iterated,
+    /// so the randomized order is unobservable (no-unordered-iteration).
     links: HashMap<(usize, usize), DirLink>,
     udp: Vec<UdpSock>,
     pub(crate) listeners: Vec<Listener>,

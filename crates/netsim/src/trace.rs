@@ -9,7 +9,7 @@
 
 use crate::packet::Packet;
 use crate::time::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// The layers the paper's Figure 5 breaks DoH resolution cost into, plus the
 /// raw DNS payload tag used for the UDP scenarios.
@@ -129,7 +129,9 @@ pub struct Cost {
 /// instrument.
 #[derive(Debug, Default)]
 pub struct CostMeter {
-    by_attr: HashMap<u32, Cost>,
+    /// Ordered so [`CostMeter::attrs`] and [`CostMeter::total`] traverse
+    /// in key order — report bytes must never depend on map internals.
+    by_attr: BTreeMap<u32, Cost>,
     counters: BTreeMap<&'static str, u64>,
 }
 
@@ -155,11 +157,9 @@ impl CostMeter {
         self.by_attr.get(&attr).copied().unwrap_or_default()
     }
 
-    /// All attributions with recorded cost.
+    /// All attributions with recorded cost, in ascending order.
     pub fn attrs(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.by_attr.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.by_attr.keys().copied().collect()
     }
 
     /// Sum over every attribution.

@@ -1,0 +1,636 @@
+//! The rule catalog and the finding sink with `simlint::allow` support.
+//!
+//! Every rule is a plain function over a [`FileView`] registered in the
+//! [`RULES`] table — adding a rule is writing one function, one table
+//! row, and one golden fixture. Rules report through [`Sink::report`],
+//! which consults the file's `// simlint::allow(<rule>): <reason>`
+//! annotations: an allow on the finding's line or the line directly
+//! above suppresses it (and is marked used; unused or malformed allows
+//! become findings themselves).
+
+use crate::lexer::{find_token, has_token, is_ident_char, Line};
+use std::collections::BTreeSet;
+
+/// One lint finding, printed as `file:line rule message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier from the catalog.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{} {} {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A scrubbed file plus the path-derived facts rules scope on.
+pub struct FileView {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Scrubbed lines, 0-indexed (findings report 1-based).
+    pub lines: Vec<Line>,
+}
+
+impl FileView {
+    fn has_component(&self, name: &str) -> bool {
+        self.rel.split('/').any(|c| c == name)
+    }
+
+    /// Wall-clock timing harnesses live under a `benches/` directory.
+    pub fn is_bench(&self) -> bool {
+        self.has_component("benches")
+    }
+
+    /// Binaries and examples own stdout.
+    pub fn is_bin_or_example(&self) -> bool {
+        self.has_component("bin")
+            || self.has_component("examples")
+            || self.rel.ends_with("/main.rs")
+    }
+
+    /// Integration tests (a `tests/` path component).
+    pub fn is_test_path(&self) -> bool {
+        self.has_component("tests")
+    }
+
+    /// The determinism-critical crates `no-bare-unwrap-in-core` covers.
+    pub fn is_core_crate(&self) -> bool {
+        ["crates/netsim/src/", "crates/doh/src/", "crates/httpsim/src/"]
+            .iter()
+            .any(|p| self.rel.starts_with(p))
+    }
+
+    /// Is line `i` exempt as test code (unit-test mod or tests/ file)?
+    fn test_line(&self, i: usize) -> bool {
+        self.is_test_path() || self.lines[i].in_test
+    }
+}
+
+/// One row of the catalog.
+pub struct Rule {
+    /// The identifier used in findings and `simlint::allow(...)`.
+    pub name: &'static str,
+    /// One-line description for `--list-rules` and the README table.
+    pub summary: &'static str,
+    /// The check itself.
+    pub check: fn(&FileView, &mut Sink),
+}
+
+/// The rule catalog. Order is the report order within a line.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no-wall-clock",
+        summary: "Instant::now / SystemTime::now / .elapsed() outside benches/ — \
+                  simulated code reads time from Sim::now()",
+        check: no_wall_clock,
+    },
+    Rule {
+        name: "no-unordered-iteration",
+        summary: "iterating, draining or collecting from a HashMap/HashSet in non-test \
+                  code — keyed lookup is legal, ordered traversal needs BTreeMap or a sort",
+        check: no_unordered_iteration,
+    },
+    Rule {
+        name: "no-thread-outside-sweep",
+        summary: "std::thread / atomics outside bench::sweep — parallelism is confined \
+                  to the sweep runner",
+        check: no_thread_outside_sweep,
+    },
+    Rule {
+        name: "no-deprecated-broadcast",
+        summary: "the deprecated broadcast shims (resolve_with, drain_endpoints, …) \
+                  outside their definition and the one pinned test",
+        check: no_deprecated_broadcast,
+    },
+    Rule {
+        name: "no-print-in-lib",
+        summary: "println!/eprintln! in library code — stdout belongs to src/bin, \
+                  examples and benches",
+        check: no_print_in_lib,
+    },
+    Rule {
+        name: "no-bare-unwrap-in-core",
+        summary: ".unwrap() in netsim/doh/httpsim non-test code without an invariant \
+                  comment on the same or previous line",
+        check: no_bare_unwrap_in_core,
+    },
+];
+
+/// Is `name` a catalog rule (valid in `simlint::allow`)?
+pub fn is_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+// ------------------------------------------------------------------
+// The allow sink
+// ------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Allow {
+    line: usize, // 0-based
+    rule: String,
+    has_reason: bool,
+    used: bool,
+}
+
+/// Collects findings, applying `simlint::allow` suppression.
+pub struct Sink {
+    allows: Vec<Allow>,
+    findings: Vec<Finding>,
+}
+
+impl Sink {
+    /// Parses the allows out of a file's comment channel.
+    pub fn new(view: &FileView) -> Sink {
+        let mut allows = Vec::new();
+        for (i, line) in view.lines.iter().enumerate() {
+            let mut rest = line.comment.as_str();
+            while let Some(pos) = rest.find("simlint::allow") {
+                rest = &rest[pos + "simlint::allow".len()..];
+                let Some(inner) = rest.strip_prefix('(') else { continue };
+                let Some(close) = inner.find(')') else { continue };
+                let rule = inner[..close].trim().to_string();
+                let tail = inner[close + 1..].trim_start();
+                let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+                allows.push(Allow { line: i, rule, has_reason, used: false });
+                rest = &inner[close + 1..];
+            }
+        }
+        Sink { allows, findings: Vec::new() }
+    }
+
+    /// Reports a finding at 0-based line `i`, unless an allow for `rule`
+    /// sits on that line or the one above.
+    pub fn report(&mut self, view: &FileView, i: usize, rule: &'static str, message: String) {
+        let allowed = self
+            .allows
+            .iter_mut()
+            .find(|a| a.rule == rule && a.has_reason && (a.line == i || a.line + 1 == i));
+        if let Some(a) = allowed {
+            a.used = true;
+            return;
+        }
+        self.findings.push(Finding { file: view.rel.clone(), line: i + 1, rule, message });
+    }
+
+    /// Emits the meta-findings (malformed / unknown / unused allows) and
+    /// returns everything sorted by line, then rule.
+    pub fn finish(mut self, view: &FileView) -> Vec<Finding> {
+        for a in &self.allows {
+            let (rule, message) = if !is_rule(&a.rule) {
+                ("allow-syntax", format!("unknown rule {:?} in simlint::allow", a.rule))
+            } else if !a.has_reason {
+                (
+                    "allow-syntax",
+                    format!(
+                        "simlint::allow({}) needs a reason: `// simlint::allow({}): <why>`",
+                        a.rule, a.rule
+                    ),
+                )
+            } else if !a.used {
+                (
+                    "unused-allow",
+                    format!(
+                        "simlint::allow({}) suppresses nothing on this or the next line",
+                        a.rule
+                    ),
+                )
+            } else {
+                continue;
+            };
+            self.findings.push(Finding { file: view.rel.clone(), line: a.line + 1, rule, message });
+        }
+        self.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        self.findings
+    }
+}
+
+// ------------------------------------------------------------------
+// The rules
+// ------------------------------------------------------------------
+
+fn no_wall_clock(view: &FileView, sink: &mut Sink) {
+    if view.is_bench() {
+        return;
+    }
+    for (i, line) in view.lines.iter().enumerate() {
+        for pat in ["Instant::now", "SystemTime::now"] {
+            if has_token(&line.code, pat) {
+                sink.report(
+                    view,
+                    i,
+                    "no-wall-clock",
+                    format!("wall clock `{pat}` outside benches/ — use Sim::now()"),
+                );
+            }
+        }
+        if line.code.contains(".elapsed(") {
+            sink.report(
+                view,
+                i,
+                "no-wall-clock",
+                "wall clock `.elapsed()` outside benches/ — use Sim::now() arithmetic".to_string(),
+            );
+        }
+    }
+}
+
+/// Methods whose call on a hash collection observes its random order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+fn no_unordered_iteration(view: &FileView, sink: &mut Sink) {
+    // Pass 1: names declared (or annotated) as HashMap/HashSet anywhere
+    // in the file's non-test code — fields, lets, parameters.
+    let mut tracked: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in view.lines.iter().enumerate() {
+        if view.test_line(i) {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = find_token(&line.code, ty, from) {
+                if let Some(name) = binding_name(&line.code[..pos]) {
+                    tracked.insert(name);
+                }
+                from = pos + ty.len();
+            }
+        }
+    }
+    // Pass 2: order-observing uses of a tracked name.
+    for (i, line) in view.lines.iter().enumerate() {
+        if view.test_line(i) {
+            continue;
+        }
+        for name in &tracked {
+            if let Some(method) = iterating_call(&line.code, name) {
+                sink.report(
+                    view,
+                    i,
+                    "no-unordered-iteration",
+                    format!(
+                        "`{name}` is a HashMap/HashSet; `.{method}()` observes random \
+                         order — use a BTreeMap or sort first"
+                    ),
+                );
+            }
+            if for_loop_over(&line.code, name) {
+                sink.report(
+                    view,
+                    i,
+                    "no-unordered-iteration",
+                    format!(
+                        "`{name}` is a HashMap/HashSet; `for … in` observes random \
+                         order — use a BTreeMap or sort first"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Given the code before a `HashMap`/`HashSet` token, the identifier the
+/// collection is bound to: `conns: HashMap<…>` → `conns`,
+/// `let seen = HashSet::new()` → `seen`. `None` for positions that bind
+/// nothing (return types, turbofish, …).
+fn binding_name(before: &str) -> Option<String> {
+    let mut s = before;
+    // Strip reference sigils and a path prefix: `&mut std::collections::HashMap`.
+    loop {
+        s = s.trim_end();
+        if let Some(stripped) = s.strip_suffix("::") {
+            s = stripped.trim_end_matches(is_ident_char);
+        } else if let Some(stripped) = s.strip_suffix('&') {
+            s = stripped;
+        } else if s.ends_with("mut") && !ends_in_longer_ident(s, "mut") {
+            s = &s[..s.len() - 3];
+        } else {
+            break;
+        }
+    }
+    let s = if let Some(stripped) = s.strip_suffix(':') {
+        // `name: HashMap<…>` — a field, let, or parameter annotation.
+        stripped
+    } else if let Some(stripped) = s.strip_suffix('=') {
+        let stripped = stripped.trim_end();
+        // `name = HashMap::new()`, not `==`, `>=`, `<=`.
+        if stripped.ends_with(['=', '>', '<', '!']) {
+            return None;
+        }
+        stripped
+    } else {
+        return None;
+    };
+    let s = s.trim_end();
+    let name: String = s
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn ends_in_longer_ident(s: &str, suffix: &str) -> bool {
+    s.len() > suffix.len()
+        && s[..s.len() - suffix.len()].chars().next_back().is_some_and(is_ident_char)
+}
+
+/// The iterating method, if `code` contains `name.<iter-method>(`.
+fn iterating_call(code: &str, name: &str) -> Option<&'static str> {
+    let mut from = 0;
+    while let Some(pos) = find_token(code, name, from) {
+        let after = code[pos + name.len()..].trim_start();
+        if let Some(rest) = after.strip_prefix('.') {
+            let rest = rest.trim_start();
+            for &m in ITER_METHODS {
+                if let Some(tail) = rest.strip_prefix(m) {
+                    if tail.trim_start().starts_with('(') {
+                        return Some(m);
+                    }
+                }
+            }
+        }
+        from = pos + name.len();
+    }
+    None
+}
+
+/// Is there a `for … in … name` loop header on this line?
+fn for_loop_over(code: &str, name: &str) -> bool {
+    let Some(for_pos) = find_token(code, "for", 0) else { return false };
+    let Some(in_pos) = find_token(code, "in", for_pos + 3) else { return false };
+    find_token(code, name, in_pos + 2).is_some()
+}
+
+fn no_thread_outside_sweep(view: &FileView, sink: &mut Sink) {
+    // benches/ are wall-clock harnesses (already outside the
+    // determinism domain, cf. no-wall-clock) and may query core counts;
+    // everything else threads only through the sweep runner.
+    if view.rel == "crates/bench/src/sweep.rs" || view.is_bench() {
+        return;
+    }
+    for (i, line) in view.lines.iter().enumerate() {
+        for pat in ["std::thread", "std::sync::atomic"] {
+            if has_token(&line.code, pat) {
+                sink.report(
+                    view,
+                    i,
+                    "no-thread-outside-sweep",
+                    format!(
+                        "`{pat}` outside bench::sweep — the simulator is single-threaded \
+                             by design; parallelism lives in the sweep runner"
+                    ),
+                );
+            }
+        }
+        if let Some(atomic) = atomic_type_token(&line.code) {
+            sink.report(
+                view,
+                i,
+                "no-thread-outside-sweep",
+                format!(
+                    "atomic type `{atomic}` outside bench::sweep — shared mutable state \
+                         belongs in the sweep runner"
+                ),
+            );
+        }
+    }
+}
+
+/// The first `Atomic*` type token on the line (`AtomicUsize`, `AtomicBool`, …).
+fn atomic_type_token(code: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(pos) = find_token_prefix(code, "Atomic", from) {
+        let tail: String = code[pos..].chars().take_while(|&c| is_ident_char(c)).collect();
+        if tail.len() > "Atomic".len() {
+            return Some(tail);
+        }
+        from = pos + "Atomic".len();
+    }
+    None
+}
+
+/// Like [`find_token`] but only the *left* boundary is checked, so the
+/// pattern may be an identifier prefix.
+fn find_token_prefix(code: &str, pat: &str, from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(off) = code[start..].find(pat) {
+        let pos = start + off;
+        if code[..pos].chars().next_back().map_or(true, |c| !is_ident_char(c)) {
+            return Some(pos);
+        }
+        start = pos + 1;
+    }
+    None
+}
+
+/// The deprecated broadcast entry points quarantined by
+/// `no-deprecated-broadcast`. Their definitions live in
+/// `crates/doh/src/lib.rs` (exempt); every use elsewhere needs an allow.
+const BROADCAST_SHIMS: &[&str] =
+    &["resolve_with", "resolve_with_extras", "drain_endpoints", "advance_endpoints_until"];
+
+fn no_deprecated_broadcast(view: &FileView, sink: &mut Sink) {
+    if view.rel == "crates/doh/src/lib.rs" {
+        return;
+    }
+    for (i, line) in view.lines.iter().enumerate() {
+        for &shim in BROADCAST_SHIMS {
+            if has_token(&line.code, shim) {
+                sink.report(
+                    view,
+                    i,
+                    "no-deprecated-broadcast",
+                    format!(
+                        "deprecated broadcast shim `{shim}` — register the endpoints \
+                             in a `Driver` and use addressed routing"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn no_print_in_lib(view: &FileView, sink: &mut Sink) {
+    if view.is_bin_or_example() || view.is_bench() || view.is_test_path() {
+        return;
+    }
+    for (i, line) in view.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in ["println!", "eprintln!", "print!", "eprint!"] {
+            if has_token(&line.code, pat) {
+                sink.report(
+                    view,
+                    i,
+                    "no-print-in-lib",
+                    format!(
+                        "`{pat}` in library code — stdout/stderr belong to src/bin, \
+                             examples and benches"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn no_bare_unwrap_in_core(view: &FileView, sink: &mut Sink) {
+    if !view.is_core_crate() {
+        return;
+    }
+    for (i, line) in view.lines.iter().enumerate() {
+        if view.test_line(i) || !line.code.contains(".unwrap()") {
+            continue;
+        }
+        let has_comment = |l: &Line| !l.comment.trim().is_empty() || !l.doc.trim().is_empty();
+        let documented = has_comment(line) || (i > 0 && has_comment(&view.lines[i - 1]));
+        if !documented {
+            sink.report(
+                view,
+                i,
+                "no-bare-unwrap-in-core",
+                "bare `.unwrap()` in a core crate — state the invariant in a comment \
+                 on this or the previous line, or use `.expect(\"…\")`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    fn view(rel: &str, src: &str) -> FileView {
+        FileView { rel: rel.to_string(), lines: scrub(src) }
+    }
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let v = view(rel, src);
+        let mut sink = Sink::new(&v);
+        for rule in RULES {
+            (rule.check)(&v, &mut sink);
+        }
+        sink.finish(&v)
+    }
+
+    #[test]
+    fn wall_clock_is_legal_in_benches() {
+        let src = "use std::time::Instant;\nfn main() { let t = Instant::now(); t.elapsed(); }\n";
+        assert!(run("crates/bench/benches/transports.rs", src).is_empty());
+        assert_eq!(run("crates/netsim/src/sim.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn binding_names_are_extracted_from_decl_shapes() {
+        assert_eq!(binding_name("    conns: ").as_deref(), Some("conns"));
+        assert_eq!(binding_name("let seen = ").as_deref(), Some("seen"));
+        assert_eq!(binding_name("let seen: std::collections::").as_deref(), Some("seen"));
+        assert_eq!(binding_name("fn f(m: &mut ").as_deref(), Some("m"));
+        assert_eq!(binding_name("fn f() -> ").as_deref(), None);
+        assert_eq!(binding_name("if x == ").as_deref(), None);
+    }
+
+    #[test]
+    fn keyed_lookup_is_legal_iteration_is_not() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { conns: HashMap<u32, u32> }\n\
+                   impl S {\n\
+                   fn get(&self) -> Option<&u32> { self.conns.get(&1) }\n\
+                   fn bad(&self) { for c in self.conns.values() { use_it(c); } }\n\
+                   }\n";
+        let found = run("crates/doh/src/x.rs", src);
+        // `.values()` and the `for … in` heuristic both fire on line 5.
+        assert!(found.iter().all(|f| f.line == 5 && f.rule == "no-unordered-iteration"));
+        assert!(!found.is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_in_unit_tests_is_exempt() {
+        let src = "struct S;\n#[cfg(test)]\nmod tests {\n\
+                   fn t() { let seen: std::collections::HashSet<u32> = it.collect(); \
+                   for x in seen.iter() { check(x); } }\n}\n";
+        assert!(run("crates/workload/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn threads_and_atomics_are_confined_to_the_sweep_runner() {
+        let src = "use std::thread;\nuse std::sync::atomic::{AtomicUsize, Ordering};\n";
+        assert!(run("crates/bench/src/sweep.rs", src).is_empty());
+        let found = run("crates/bench/src/stats.rs", src);
+        assert_eq!(found.iter().filter(|f| f.rule == "no-thread-outside-sweep").count(), 3);
+    }
+
+    #[test]
+    fn broadcast_shims_are_flagged_outside_their_definition() {
+        let src = "fn f(sim: &mut Sim) { resolve_with(sim, &mut c, &mut s, &n, 1); \
+                   drain_endpoints_impl(sim, &mut []); }\n";
+        assert!(run("crates/doh/src/lib.rs", src).is_empty(), "definitions file is exempt");
+        let found = run("crates/doh/src/do53.rs", src);
+        assert_eq!(found.len(), 1, "the _impl helper is a different token: {found:?}");
+        assert_eq!(found[0].rule, "no-deprecated-broadcast");
+    }
+
+    #[test]
+    fn prints_are_legal_in_bins_examples_and_tests() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        assert!(run("crates/bench/src/bin/fig3.rs", src).is_empty());
+        assert!(run("examples/quickstart.rs", src).is_empty());
+        assert!(run("tests/transport_matrix.rs", src).is_empty());
+        assert_eq!(run("crates/bench/src/report.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_needs_an_invariant_comment_only_in_core_crates() {
+        let bare = "fn f() { x().unwrap(); }\n";
+        let documented =
+            "fn f() {\n    // invariant: x is Some after setup\n    x().unwrap();\n}\n";
+        assert_eq!(run("crates/netsim/src/tcp.rs", bare).len(), 1);
+        assert!(run("crates/netsim/src/tcp.rs", documented).is_empty());
+        assert!(run("crates/bench/src/stats.rs", bare).is_empty(), "bench is not a core crate");
+    }
+
+    #[test]
+    fn allows_suppress_mark_used_and_surface_when_unused_or_malformed() {
+        let src = "// simlint::allow(no-print-in-lib): CLI front-end owns stdout\n\
+                   fn f() { println!(\"ok\"); }\n\
+                   // simlint::allow(no-print-in-lib): nothing here\n\
+                   fn g() {}\n\
+                   // simlint::allow(no-print-in-lib)\n\
+                   fn h() { println!(\"missing reason does not suppress\"); }\n\
+                   // simlint::allow(not-a-rule): whatever\n";
+        let found = run("crates/doh/src/zone.rs", src);
+        let rules: Vec<&str> = found.iter().map(|f| f.rule).collect();
+        assert_eq!(
+            rules,
+            vec!["unused-allow", "allow-syntax", "no-print-in-lib", "allow-syntax"],
+            "{found:?}"
+        );
+    }
+}

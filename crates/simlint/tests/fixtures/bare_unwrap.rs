@@ -1,0 +1,28 @@
+//@ path: crates/httpsim/src/fixture_unwrap.rs
+//! Golden fixture: `no-bare-unwrap-in-core` wants every `.unwrap()` in
+//! netsim/doh/httpsim non-test code justified by a nearby comment (same
+//! line or the line above) — or replaced by `.expect("…")`.
+
+pub fn bare(input: &str) -> u64 {
+    input.parse().unwrap()
+}
+
+pub fn documented_same_line(input: &str) -> u64 {
+    input.parse().unwrap() // invariant: caller validated digits
+}
+
+pub fn documented_line_above(input: &str) -> u64 {
+    // invariant: caller validated digits
+    input.parse().unwrap()
+}
+
+pub fn expect_is_always_legal(input: &str) -> u64 {
+    input.parse().expect("caller validated digits")
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn tests_may_unwrap(input: &str) -> u64 {
+        input.parse().unwrap()
+    }
+}

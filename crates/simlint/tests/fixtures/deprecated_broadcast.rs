@@ -1,0 +1,15 @@
+//@ path: crates/bench/src/fixture_broadcast.rs
+//! Golden fixture: `no-deprecated-broadcast` quarantines the deprecated
+//! broadcast shims. The `_impl` helpers are different tokens and legal.
+
+pub fn drives_by_broadcast(sim: &mut Sim, client: &mut C, server: &mut S, name: &Name) {
+    let _ = resolve_with(sim, client, server, name, 1);
+    let _ = resolve_with_extras(sim, client, server, &mut [], name, 2);
+    drain_endpoints(sim, &mut [client, server]);
+    advance_endpoints_until(sim, &mut [client, server], at);
+}
+
+pub fn impl_helpers_are_different_tokens(sim: &mut Sim) {
+    drain_endpoints_impl(sim, &mut []);
+    resolve_with_extras_impl(sim);
+}

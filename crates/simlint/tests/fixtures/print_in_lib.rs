@@ -1,0 +1,17 @@
+//@ path: crates/workload/src/fixture_print.rs
+//! Golden fixture: `no-print-in-lib` keeps stdout/stderr out of library
+//! code; strings and unit tests don't count.
+
+pub fn chatty(x: u64) {
+    println!("x = {x}");
+    eprintln!("warning: {x}");
+    let template = "println!(\"not a real print\")";
+    drop(template);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn tests_may_print() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,16 @@
+//@ path: crates/netsim/src/fixture_thread.rs
+//! Golden fixture: `no-thread-outside-sweep` fires on `std::thread`
+//! and atomics anywhere but `crates/bench/src/sweep.rs` and `benches/`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+pub fn spawn_workers(n: usize) {
+    let counter = AtomicUsize::new(0);
+    let handle = thread::spawn(move || counter.fetch_add(n, Ordering::SeqCst));
+    drop(handle);
+}
+
+pub fn full_paths_are_caught_too() {
+    let _ = std::thread::available_parallelism();
+}

@@ -1,0 +1,54 @@
+//@ path: crates/doh/src/fixture_unordered.rs
+//! Golden fixture: `no-unordered-iteration` fires on order-observing
+//! uses of a `HashMap`/`HashSet` binding — keyed lookup stays legal,
+//! `BTreeMap` traversal stays legal, and unit tests are exempt.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Registry {
+    conns: HashMap<u64, String>,
+    ordered: BTreeMap<u64, String>,
+}
+
+impl Registry {
+    pub fn keyed_lookup_is_legal(&self, id: u64) -> Option<&String> {
+        self.conns.get(&id)
+    }
+
+    pub fn values_observe_random_order(&self) -> usize {
+        self.conns.values().map(|s| s.len()).sum()
+    }
+
+    pub fn for_loops_observe_random_order(&self) {
+        for (id, name) in &self.conns {
+            drop((id, name));
+        }
+    }
+
+    pub fn draining_observes_random_order(&mut self) {
+        let _: Vec<(u64, String)> = self.conns.drain().collect();
+    }
+
+    pub fn btreemap_traversal_is_legal(&self) -> Vec<u64> {
+        self.ordered.keys().copied().collect()
+    }
+}
+
+pub fn local_sets_are_tracked_too(items: &[u64]) -> usize {
+    let seen: HashSet<u64> = items.iter().copied().collect();
+    let first = seen.iter().next();
+    drop(first);
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub fn test_code_may_iterate_freely() {
+        let seen: HashSet<u64> = [1, 2, 3].into_iter().collect();
+        for x in seen.iter() {
+            drop(x);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//@ path: crates/netsim/src/fixture_wall_clock.rs
+//! Golden fixture: `no-wall-clock` fires on every wall-clock API in
+//! simulator code — but never on mentions in comments or strings, and
+//! unit-test code is *not* exempt (only `benches/` is).
+
+use std::time::{Instant, SystemTime};
+
+/// Doc prose may say Instant::now() freely.
+pub fn timed() -> f64 {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    // A comment may say SystemTime::now() freely too.
+    let note = "Instant::now() inside a string literal is invisible";
+    let _ = note;
+    started.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn still_flagged_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,21 @@
+//! The workspace lints itself: `cargo test -p dohmark-simlint` fails if
+//! any checked-in source trips a rule, so determinism regressions are
+//! caught even where CI's explicit `--deny` run is skipped.
+
+use std::path::Path;
+
+use dohmark_simlint::{lint_workspace, render};
+
+#[test]
+fn workspace_is_simlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let findings = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "workspace is not simlint-clean — fix or `simlint::allow` each:\n{}",
+        render(&findings)
+    );
+}

@@ -103,7 +103,14 @@ fn resolve_with_extras_routes_wakes_to_bystander_endpoints() {
     // wakes (the GOAWAY/FIN exchange after its client closed). Session B
     // uses concrete types so its connection state can be asserted.
     use dohmark::doh::{
-        build_pair_on, drain_endpoints, resolve_with, DohH2Client, DohH2Server, Resolver,
+        build_pair_on,
+        // simlint::allow(no-deprecated-broadcast): the one pinned test of the shims — goes away with them next release
+        drain_endpoints,
+        // simlint::allow(no-deprecated-broadcast): the one pinned test of the shims — goes away with them next release
+        resolve_with,
+        DohH2Client,
+        DohH2Server,
+        Resolver,
     };
     use dohmark::tls::{TlsConfig, ALPN_H2};
     use std::net::Ipv4Addr;
@@ -129,8 +136,10 @@ fn resolve_with_extras_routes_wakes_to_bystander_endpoints() {
 
     // Session B resolves, then starts closing — its GOAWAY/FIN exchange
     // is still in flight when session A's resolution is driven.
+    // simlint::allow(no-deprecated-broadcast): pinning broadcast semantics until the shims are removed
     resolve_with(&mut sim, &mut client_b, &mut server_b, &name, 100).unwrap();
     client_b.close(&mut sim);
+    // simlint::allow(no-deprecated-broadcast): pinning broadcast semantics until the shims are removed
     let response = dohmark::doh::resolve_with_extras(
         &mut sim,
         client_a.as_mut(),
@@ -140,6 +149,7 @@ fn resolve_with_extras_routes_wakes_to_bystander_endpoints() {
         1,
     );
     assert!(response.is_some());
+    // simlint::allow(no-deprecated-broadcast): pinning broadcast semantics until the shims are removed
     drain_endpoints(
         &mut sim,
         &mut [client_a.as_mut(), server_a.as_mut(), &mut client_b, &mut server_b],
