@@ -10,6 +10,18 @@
 //! own xoshiro256++ [`SimRng`] under a fixed seed, so the same samples
 //! always produce the same bands — a requirement for the byte-identical
 //! `threads=1` / `threads=N` sweep guarantee.
+//!
+//! # Summation order
+//!
+//! Float addition is not associative, so every accumulation in this
+//! module iterates in an order the inputs pin: [`mean`] sums the sample
+//! slice left to right as the caller passed it (sweep results arrive in
+//! seed order regardless of thread count, cf. `sweep::run`), and
+//! [`bootstrap_ci`] sums each resample in draw order of its fixed-seed
+//! RNG. Those two are the *blessed* accumulation helpers simlint's
+//! `no-float-accumulation` rule recognises — any new `+=` / `.sum()` in
+//! this crate's stats/report layer must either live here with the same
+//! order argument spelled out, or carry a reasoned `simlint::allow`.
 
 use dohmark::netsim::SimRng;
 
@@ -21,6 +33,10 @@ const BOOTSTRAP_SEED: u64 = 0xB00757A9;
 
 /// Arithmetic mean. Empty input panics — a metric with no samples is a
 /// harness bug, not a value.
+///
+/// Order-audited: sums strictly left to right over the input slice, so
+/// the result depends only on the slice's element order, which callers
+/// pin (seed order in sweeps).
 pub fn mean(samples: &[f64]) -> f64 {
     assert!(!samples.is_empty(), "mean of no samples");
     samples.iter().sum::<f64>() / samples.len() as f64
@@ -53,6 +69,10 @@ pub fn median(samples: &[f64]) -> f64 {
 /// input with replacement `resamples` times, takes each resample's mean,
 /// and returns the `(1−level)/2` and `(1+level)/2` percentiles of those
 /// means. Deterministic in the caller's `rng` state.
+///
+/// Order-audited: each resample sums in the draw order of `rng`, and the
+/// resample means are then ranked by [`percentile`]'s total-order sort —
+/// no accumulation depends on anything but the (seeded) draw sequence.
 pub fn bootstrap_ci(samples: &[f64], resamples: usize, level: f64, rng: &mut SimRng) -> (f64, f64) {
     assert!(!samples.is_empty(), "bootstrap of no samples");
     assert!((0.0..1.0).contains(&level), "confidence level {level} must be in [0, 1)");

@@ -150,6 +150,8 @@ pub use Resolver as QueryClient;
 /// Wakes not consumed by either endpoint are discarded; use
 /// [`resolve_with_extras`] when other endpoints (old connections, other
 /// sessions) still need their teardown wakes.
+///
+/// remove-by: PR 11
 #[deprecated(note = "register the endpoints in a `Driver` and use `Driver::resolve`; \
                      this broadcast shim will be removed next release")]
 pub fn resolve_with(
@@ -166,6 +168,8 @@ pub fn resolve_with(
 /// endpoints, so a multi-connection session (several DoH clients sharing
 /// one simulator, an old connection draining its FIN) cannot lose
 /// teardown wakes while one resolution is being driven.
+///
+/// remove-by: PR 11
 #[deprecated(note = "register every session in a `Driver` — addressed routing never loses \
                      bystander wakes; this broadcast shim will be removed next release")]
 pub fn resolve_with_extras(
@@ -196,6 +200,8 @@ pub(crate) fn resolve_with_extras_impl(
 /// Runs the simulation to quiescence, dispatching every wake to all
 /// `endpoints` — unlike [`Sim::drain`], which discards wakes, so teardown
 /// traffic (FINs) still reaches the endpoints' state machines.
+///
+/// remove-by: PR 11
 #[deprecated(note = "register the endpoints in a `Driver` and use \
                      `Driver::run_until_quiescent`; this broadcast shim will be removed \
                      next release")]
@@ -216,6 +222,8 @@ pub const ADVANCE_TOKEN: u64 = u64::MAX;
 /// Advances the simulation to time `at`, dispatching every wake seen on
 /// the way (leftover ACKs, FIN teardown, late responses) to all
 /// `endpoints` — the idle time between two workload arrivals.
+///
+/// remove-by: PR 11
 #[deprecated(note = "register the endpoints in a `Driver` and use `Driver::advance_until`; \
                      this broadcast shim will be removed next release")]
 pub fn advance_endpoints_until(sim: &mut Sim, endpoints: &mut [&mut dyn Endpoint], at: SimTime) {

@@ -16,7 +16,31 @@
 //! tracking), and [`rules`] runs the table-driven catalog over the
 //! scrubbed lines. Findings print as `file:line rule message`; the
 //! `dohmark-simlint` binary exits non-zero under `--deny` when any
-//! survive, which is how CI consumes it.
+//! survive, which is how CI consumes it. `--format json` / `--format
+//! github` re-render the same findings for machines ([`render_json`],
+//! [`render_github`]).
+//!
+//! # The item model
+//!
+//! Lexical rules see *lines*; the v2 rules need to see *items*. The
+//! [`items`] module recovers, per file, the module path implied by the
+//! file's workspace location, the `use`-alias map, and every
+//! `fn`/`impl`/`trait`/`mod` span by brace tracking over scrubbed code
+//! (string and comment braces are already blanked, so depth never
+//! desyncs); each function's body is then mined for `ident(` /
+//! `path::ident(` / `.method(` call shapes. A workspace pass joins all
+//! files into a callable index (`doh::driver::drain_routed` → item), on
+//! which calls resolve: same-impl method, then same-module free
+//! function, then alias-expanded path with `crate::`/`self::`
+//! normalised, then a unique `::`-suffix match. This is deliberately
+//! *not* a parser — generics are skipped, macros are opaque, and an
+//! unresolvable call simply doesn't propagate — but it is exact enough
+//! to answer "can this endpoint reach `Sim::schedule_app` without going
+//! through the `Driver`?", which no per-line regex can. Workspace rules
+//! ([`rules::Check::Workspace`]) get the whole model plus one sink per
+//! file, so cross-file findings still honour file-local allows, and
+//! every finding is attributed to its enclosing item path (the `item`
+//! field of the JSON schema).
 //!
 //! # Suppression
 //!
@@ -41,9 +65,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod items;
 pub mod lexer;
+pub mod output;
 pub mod rules;
 
+pub use output::{render_github, render_json};
 pub use rules::{Finding, Rule, RULES};
 
 use rules::{FileView, Sink};
@@ -54,18 +81,54 @@ use std::path::{Path, PathBuf};
 /// Directories never walked: build output, VCS metadata, and the golden
 /// fixture corpus (which is *intentionally* full of findings).
 const SKIP_DIRS: &[&str] = &["target", ".git"];
-const FIXTURES_DIR: &str = "crates/simlint/tests/fixtures";
+
+/// The golden fixture corpus, workspace-relative: excluded from
+/// [`lint_workspace`] (it is *intentionally* full of findings) and the
+/// target of [`bless_fixtures`] / the CLI's `--bless`.
+pub const FIXTURES_DIR: &str = "crates/simlint/tests/fixtures";
 
 /// Lints one source text as workspace-relative path `rel`. A leading
 /// `//@ path: <p>` directive overrides `rel` (the golden-fixture hook).
+/// Workspace rules run over a one-file workspace, so single-file
+/// fixtures can exercise them as long as their call chains stay in-file.
 pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
-    let rel = directive_path(source).unwrap_or_else(|| rel.to_string());
-    let view = FileView { rel, lines: lexer::scrub(source) };
-    let mut sink = Sink::new(&view);
+    lint_files(vec![(rel.to_string(), source.to_string())])
+}
+
+/// The full lint pipeline over a set of `(rel, source)` files: scrub
+/// every file, build the [`items::Workspace`] model, run the file rules
+/// per file and the workspace rules over the joined model, then resolve
+/// suppression and attribute each finding to its enclosing item.
+/// Findings come back sorted by path, then line, then rule.
+pub fn lint_files(files: Vec<(String, String)>) -> Vec<Finding> {
+    let views: Vec<FileView> = files
+        .into_iter()
+        .map(|(rel, source)| {
+            let rel = directive_path(&source).unwrap_or(rel);
+            FileView { rel, lines: lexer::scrub(&source) }
+        })
+        .collect();
+    let ws = items::Workspace::build(&views);
+    let mut sinks: Vec<Sink> = views.iter().map(Sink::new).collect();
     for rule in RULES {
-        (rule.check)(&view, &mut sink);
+        match rule.check {
+            rules::Check::File(f) => {
+                for (view, sink) in views.iter().zip(sinks.iter_mut()) {
+                    f(view, sink);
+                }
+            }
+            rules::Check::Workspace(f) => f(&ws, &mut sinks),
+        }
     }
-    sink.finish(&view)
+    let mut findings = Vec::new();
+    for (fi, sink) in sinks.into_iter().enumerate() {
+        for mut f in sink.finish() {
+            f.item = ws.enclosing_path(fi, f.line - 1);
+            findings.push(f);
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
 }
 
 /// The `//@ path: …` override from the first lines of `source`, if any.
@@ -84,13 +147,13 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for rel in files {
         let source = fs::read_to_string(root.join(&rel))?;
         let rel = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(lint_source(&rel, &source));
+        inputs.push((rel, source));
     }
-    Ok(findings)
+    Ok(lint_files(inputs))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -124,6 +187,35 @@ pub fn render(findings: &[Finding]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Re-lints every `.rs` fixture under `dir` and rewrites its sibling
+/// `.expected` file with the current findings — the `--bless` workflow
+/// for intentional rule changes. Returns `(expected_path, changed)` per
+/// fixture, sorted by path. Blessing is idempotent: a second run over an
+/// unchanged corpus rewrites nothing (the self-consistency test pins
+/// this).
+pub fn bless_fixtures(dir: &Path) -> io::Result<Vec<(PathBuf, bool)>> {
+    let mut sources: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .collect();
+    sources.sort();
+    let mut out = Vec::new();
+    for path in sources {
+        let source = fs::read_to_string(&path)?;
+        let rel = path.file_name().unwrap_or(path.as_os_str()).to_string_lossy();
+        let rendered = render(&lint_source(&rel, &source));
+        let expected = path.with_extension("expected");
+        let changed = fs::read_to_string(&expected).ok().as_deref() != Some(rendered.as_str());
+        if changed {
+            fs::write(&expected, &rendered)?;
+        }
+        out.push((expected, changed));
+    }
+    Ok(out)
 }
 
 /// Finds the workspace root: the nearest ancestor of `start` whose
@@ -163,6 +255,7 @@ mod tests {
             line: 7,
             rule: "no-wall-clock",
             message: "boom".into(),
+            item: "doh::dot".into(),
         };
         assert_eq!(render(&[f]), "crates/doh/src/dot.rs:7 no-wall-clock boom\n");
     }

@@ -1,13 +1,18 @@
 //! The rule catalog and the finding sink with `simlint::allow` support.
 //!
-//! Every rule is a plain function over a [`FileView`] registered in the
-//! [`RULES`] table — adding a rule is writing one function, one table
-//! row, and one golden fixture. Rules report through [`Sink::report`],
-//! which consults the file's `// simlint::allow(<rule>): <reason>`
-//! annotations: an allow on the finding's line or the line directly
-//! above suppresses it (and is marked used; unused or malformed allows
-//! become findings themselves).
+//! Every rule is a plain function registered in the [`RULES`] table —
+//! adding a rule is writing one function, one table row, and one golden
+//! fixture. A rule is either a [`Check::File`] pass over one
+//! [`FileView`] (PR 8's lexical rules) or a [`Check::Workspace`] pass
+//! over the [`Workspace`] item model, reporting into per-file sinks —
+//! that is how the cross-file determinism rules join call graphs while
+//! still honouring file-local suppression. Rules report through
+//! [`Sink::report`], which consults the file's
+//! `// simlint::allow(<rule>): <reason>` annotations: an allow on the
+//! finding's line or the line directly above suppresses it (and is
+//! marked used; unused or malformed allows become findings themselves).
 
+use crate::items::{ItemKind, Workspace};
 use crate::lexer::{find_token, has_token, is_ident_char, Line};
 use std::collections::BTreeSet;
 
@@ -22,6 +27,11 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Path of the enclosing item (`doh::driver::Driver::resolve`), or
+    /// the file's module path for file-level findings. Carried by the
+    /// JSON output; the text format omits it to stay byte-compatible
+    /// with the PR 8 golden corpus.
+    pub item: String,
 }
 
 impl std::fmt::Display for Finding {
@@ -73,6 +83,16 @@ impl FileView {
     }
 }
 
+/// How a rule runs: over one file's lines, or over the whole-workspace
+/// item model with one sink per file.
+pub enum Check {
+    /// A lexical pass over a single scrubbed file.
+    File(fn(&FileView, &mut Sink)),
+    /// A structural pass over the [`Workspace`] item model. `sinks` is
+    /// parallel to [`Workspace::views`].
+    Workspace(fn(&Workspace, &mut [Sink])),
+}
+
 /// One row of the catalog.
 pub struct Rule {
     /// The identifier used in findings and `simlint::allow(...)`.
@@ -80,7 +100,7 @@ pub struct Rule {
     /// One-line description for `--list-rules` and the README table.
     pub summary: &'static str,
     /// The check itself.
-    pub check: fn(&FileView, &mut Sink),
+    pub check: Check,
 }
 
 /// The rule catalog. Order is the report order within a line.
@@ -89,37 +109,62 @@ pub const RULES: &[Rule] = &[
         name: "no-wall-clock",
         summary: "Instant::now / SystemTime::now / .elapsed() outside benches/ — \
                   simulated code reads time from Sim::now()",
-        check: no_wall_clock,
+        check: Check::File(no_wall_clock),
     },
     Rule {
         name: "no-unordered-iteration",
         summary: "iterating, draining or collecting from a HashMap/HashSet in non-test \
                   code — keyed lookup is legal, ordered traversal needs BTreeMap or a sort",
-        check: no_unordered_iteration,
+        check: Check::File(no_unordered_iteration),
     },
     Rule {
         name: "no-thread-outside-sweep",
         summary: "std::thread / atomics outside bench::sweep — parallelism is confined \
                   to the sweep runner",
-        check: no_thread_outside_sweep,
+        check: Check::File(no_thread_outside_sweep),
     },
     Rule {
         name: "no-deprecated-broadcast",
         summary: "the deprecated broadcast shims (resolve_with, drain_endpoints, …) \
                   outside their definition and the one pinned test",
-        check: no_deprecated_broadcast,
+        check: Check::File(no_deprecated_broadcast),
     },
     Rule {
         name: "no-print-in-lib",
         summary: "println!/eprintln! in library code — stdout belongs to src/bin, \
                   examples and benches",
-        check: no_print_in_lib,
+        check: Check::File(no_print_in_lib),
     },
     Rule {
         name: "no-bare-unwrap-in-core",
         summary: ".unwrap() in netsim/doh/httpsim non-test code without an invariant \
                   comment on the same or previous line",
-        check: no_bare_unwrap_in_core,
+        check: Check::File(no_bare_unwrap_in_core),
+    },
+    Rule {
+        name: "wake-via-driver",
+        summary: "Sim wake scheduling (schedule_app, next_wake*) called or reachable \
+                  from doh endpoint code outside the driver — wakes route through the \
+                  Driver registry",
+        check: Check::Workspace(wake_via_driver),
+    },
+    Rule {
+        name: "no-float-accumulation",
+        summary: "f64 accumulation (+=, .sum(), .fold()) in bench::stats / bench::report \
+                  outside the blessed fixed-order helpers (mean, bootstrap_ci)",
+        check: Check::Workspace(no_float_accumulation),
+    },
+    Rule {
+        name: "stable-sort-for-reports",
+        summary: "sort_unstable_by / sort_unstable_by_key in report-feeding crates — \
+                  equal keys land in arbitrary order; use the stable sort_by forms",
+        check: Check::Workspace(stable_sort_for_reports),
+    },
+    Rule {
+        name: "shim-expiry",
+        summary: "a #[deprecated] item without a well-formed `remove-by: PR <n>` marker \
+                  in its doc/comment block — shims must name their removal deadline",
+        check: Check::Workspace(shim_expiry),
     },
 ];
 
@@ -140,8 +185,11 @@ struct Allow {
     used: bool,
 }
 
-/// Collects findings, applying `simlint::allow` suppression.
+/// Collects one file's findings, applying `simlint::allow` suppression.
+/// Owns its file's path so workspace rules can report into any file's
+/// sink without carrying the view.
 pub struct Sink {
+    rel: String,
     allows: Vec<Allow>,
     findings: Vec<Finding>,
 }
@@ -163,12 +211,12 @@ impl Sink {
                 rest = &inner[close + 1..];
             }
         }
-        Sink { allows, findings: Vec::new() }
+        Sink { rel: view.rel.clone(), allows, findings: Vec::new() }
     }
 
     /// Reports a finding at 0-based line `i`, unless an allow for `rule`
     /// sits on that line or the one above.
-    pub fn report(&mut self, view: &FileView, i: usize, rule: &'static str, message: String) {
+    pub fn report(&mut self, i: usize, rule: &'static str, message: String) {
         let allowed = self
             .allows
             .iter_mut()
@@ -177,12 +225,18 @@ impl Sink {
             a.used = true;
             return;
         }
-        self.findings.push(Finding { file: view.rel.clone(), line: i + 1, rule, message });
+        self.findings.push(Finding {
+            file: self.rel.clone(),
+            line: i + 1,
+            rule,
+            message,
+            item: String::new(),
+        });
     }
 
     /// Emits the meta-findings (malformed / unknown / unused allows) and
     /// returns everything sorted by line, then rule.
-    pub fn finish(mut self, view: &FileView) -> Vec<Finding> {
+    pub fn finish(mut self) -> Vec<Finding> {
         for a in &self.allows {
             let (rule, message) = if !is_rule(&a.rule) {
                 ("allow-syntax", format!("unknown rule {:?} in simlint::allow", a.rule))
@@ -205,7 +259,13 @@ impl Sink {
             } else {
                 continue;
             };
-            self.findings.push(Finding { file: view.rel.clone(), line: a.line + 1, rule, message });
+            self.findings.push(Finding {
+                file: self.rel.clone(),
+                line: a.line + 1,
+                rule,
+                message,
+                item: String::new(),
+            });
         }
         self.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
         self.findings
@@ -224,7 +284,6 @@ fn no_wall_clock(view: &FileView, sink: &mut Sink) {
         for pat in ["Instant::now", "SystemTime::now"] {
             if has_token(&line.code, pat) {
                 sink.report(
-                    view,
                     i,
                     "no-wall-clock",
                     format!("wall clock `{pat}` outside benches/ — use Sim::now()"),
@@ -233,7 +292,6 @@ fn no_wall_clock(view: &FileView, sink: &mut Sink) {
         }
         if line.code.contains(".elapsed(") {
             sink.report(
-                view,
                 i,
                 "no-wall-clock",
                 "wall clock `.elapsed()` outside benches/ — use Sim::now() arithmetic".to_string(),
@@ -282,7 +340,6 @@ fn no_unordered_iteration(view: &FileView, sink: &mut Sink) {
         for name in &tracked {
             if let Some(method) = iterating_call(&line.code, name) {
                 sink.report(
-                    view,
                     i,
                     "no-unordered-iteration",
                     format!(
@@ -293,7 +350,6 @@ fn no_unordered_iteration(view: &FileView, sink: &mut Sink) {
             }
             if for_loop_over(&line.code, name) {
                 sink.report(
-                    view,
                     i,
                     "no-unordered-iteration",
                     format!(
@@ -397,7 +453,6 @@ fn no_thread_outside_sweep(view: &FileView, sink: &mut Sink) {
         for pat in ["std::thread", "std::sync::atomic"] {
             if has_token(&line.code, pat) {
                 sink.report(
-                    view,
                     i,
                     "no-thread-outside-sweep",
                     format!(
@@ -409,7 +464,6 @@ fn no_thread_outside_sweep(view: &FileView, sink: &mut Sink) {
         }
         if let Some(atomic) = atomic_type_token(&line.code) {
             sink.report(
-                view,
                 i,
                 "no-thread-outside-sweep",
                 format!(
@@ -462,7 +516,6 @@ fn no_deprecated_broadcast(view: &FileView, sink: &mut Sink) {
         for &shim in BROADCAST_SHIMS {
             if has_token(&line.code, shim) {
                 sink.report(
-                    view,
                     i,
                     "no-deprecated-broadcast",
                     format!(
@@ -486,7 +539,6 @@ fn no_print_in_lib(view: &FileView, sink: &mut Sink) {
         for pat in ["println!", "eprintln!", "print!", "eprint!"] {
             if has_token(&line.code, pat) {
                 sink.report(
-                    view,
                     i,
                     "no-print-in-lib",
                     format!(
@@ -511,7 +563,6 @@ fn no_bare_unwrap_in_core(view: &FileView, sink: &mut Sink) {
         let documented = has_comment(line) || (i > 0 && has_comment(&view.lines[i - 1]));
         if !documented {
             sink.report(
-                view,
                 i,
                 "no-bare-unwrap-in-core",
                 "bare `.unwrap()` in a core crate — state the invariant in a comment \
@@ -522,22 +573,254 @@ fn no_bare_unwrap_in_core(view: &FileView, sink: &mut Sink) {
     }
 }
 
+// ------------------------------------------------------------------
+// The workspace rules (v2): structural checks over the item model
+// ------------------------------------------------------------------
+
+/// The `Sim` wake-scheduling entry points `wake-via-driver` guards.
+const WAKE_APIS: &[&str] = &["schedule_app", "schedule_app_in", "next_wake", "next_wake_owned"];
+
+/// The one file whose wake calls are blessed: the `Driver` registry and
+/// its pump helpers (`drain_routed`, `advance_routed`, `resolve_routed`).
+const DRIVER_FILE: &str = "crates/doh/src/driver.rs";
+
+/// Does this call path name a wake API (`sim.next_wake_owned()`,
+/// `Sim::schedule_app(...)`)?
+fn is_wake_call(path: &str) -> bool {
+    let last = path.rsplit("::").next().unwrap_or(path);
+    WAKE_APIS.contains(&last)
+}
+
+/// Wakes must route through the `Driver` registry: any `Sim` wake call
+/// made — or transitively reachable over resolvable calls — from
+/// `crates/doh/src/` code outside `driver.rs` is a finding. The
+/// reachability join is what the PR 8 lexical pass could not express:
+/// it needs to know which `fn` a line lives in and what that `fn` calls.
+fn wake_via_driver(ws: &Workspace, sinks: &mut [Sink]) {
+    let exempt = |fi: usize| ws.views[fi].rel == DRIVER_FILE || ws.views[fi].is_test_path();
+    // Pass 1: the tainted set — every non-exempt Fn that calls a wake
+    // API directly, grown to a fixpoint through resolvable calls.
+    // Exempt items never taint, so calling the driver's own pump
+    // helpers stays legal.
+    let mut tainted: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if exempt(fi) {
+            continue;
+        }
+        for (ii, item) in file.items.iter().enumerate() {
+            if item.kind == ItemKind::Fn
+                && item
+                    .calls
+                    .iter()
+                    .any(|c| !ws.views[fi].lines[c.line].in_test && is_wake_call(&c.path))
+            {
+                tainted.insert((fi, ii));
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        for (fi, file) in ws.files.iter().enumerate() {
+            if exempt(fi) {
+                continue;
+            }
+            for (ii, item) in file.items.iter().enumerate() {
+                if item.kind != ItemKind::Fn || tainted.contains(&(fi, ii)) {
+                    continue;
+                }
+                let reaches = item.calls.iter().any(|c| {
+                    !ws.views[fi].lines[c.line].in_test
+                        && ws.resolve(fi, Some(item), c).is_some_and(|hit| tainted.contains(&hit))
+                });
+                if reaches {
+                    tainted.insert((fi, ii));
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Pass 2: findings at the call sites in doh endpoint code.
+    for (fi, file) in ws.files.iter().enumerate() {
+        let view = &ws.views[fi];
+        if !view.rel.starts_with("crates/doh/src/") || exempt(fi) {
+            continue;
+        }
+        for item in file.items.iter().filter(|i| i.kind == ItemKind::Fn) {
+            for call in &item.calls {
+                if view.lines[call.line].in_test {
+                    continue;
+                }
+                if is_wake_call(&call.path) {
+                    sinks[fi].report(
+                        call.line,
+                        "wake-via-driver",
+                        format!(
+                            "direct Sim wake call `{}` outside doh::driver — endpoints \
+                             rearm through the Driver registry",
+                            call.path
+                        ),
+                    );
+                } else if let Some((tfi, tii)) = ws.resolve(fi, Some(item), call) {
+                    if tainted.contains(&(tfi, tii)) {
+                        sinks[fi].report(
+                            call.line,
+                            "wake-via-driver",
+                            format!(
+                                "`{}` reaches Sim wake scheduling via `{}` — route the \
+                                 wake through doh::driver",
+                                call.path, ws.files[tfi].items[tii].path
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The files `no-float-accumulation` covers and the helpers whose
+/// iteration order is pinned to slice order (reviewed by hand, and the
+/// fleet-scale byte tests pin their output).
+const FLOAT_SCOPE: &[&str] = &["crates/bench/src/stats.rs", "crates/bench/src/report.rs"];
+const FLOAT_BLESSED: &[&str] = &["mean", "bootstrap_ci"];
+const FLOAT_PATTERNS: &[&str] = &["+=", ".sum::<", ".sum()", ".fold(", ".product("];
+
+/// Float addition is not associative, so *where* an accumulation
+/// iterates decides report bytes. All summation in `bench::stats` /
+/// `bench::report` must live in the blessed fixed-order helpers.
+fn no_float_accumulation(ws: &Workspace, sinks: &mut [Sink]) {
+    for (fi, view) in ws.views.iter().enumerate() {
+        if !FLOAT_SCOPE.contains(&view.rel.as_str()) {
+            continue;
+        }
+        for (i, line) in view.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some(pat) = FLOAT_PATTERNS.iter().find(|p| line.code.contains(*p)) else {
+                continue;
+            };
+            let blessed = ws.item_at(fi, i).is_some_and(|item| {
+                item.kind == ItemKind::Fn && FLOAT_BLESSED.contains(&item.name.as_str())
+            });
+            if !blessed {
+                sinks[fi].report(
+                    i,
+                    "no-float-accumulation",
+                    format!(
+                        "`{pat}` accumulates outside the blessed fixed-order helpers \
+                         ({}) — summation order is report-visible; extend a blessed \
+                         helper instead",
+                        FLOAT_BLESSED.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The crates whose sorts can reach `Report` rows.
+const REPORT_FEEDING: &[&str] = &["crates/workload/src/", "crates/bench/src/", "crates/doh/src/"];
+
+/// `sort_unstable_by{,_key}` leaves equal keys in arbitrary order; in a
+/// report-feeding crate that is a byte-determinism hazard. Plain
+/// `.sort_unstable()` on a total order stays legal — with a full key
+/// there is nothing for instability to reorder.
+fn stable_sort_for_reports(ws: &Workspace, sinks: &mut [Sink]) {
+    for (fi, view) in ws.views.iter().enumerate() {
+        if !REPORT_FEEDING.iter().any(|p| view.rel.starts_with(p)) || view.is_bench() {
+            continue;
+        }
+        for (i, line) in view.lines.iter().enumerate() {
+            if view.test_line(i) {
+                continue;
+            }
+            for (pat, stable) in
+                [("sort_unstable_by_key", "sort_by_key"), ("sort_unstable_by", "sort_by")]
+            {
+                if line.code.contains(&format!(".{pat}(")) {
+                    let item = ws.enclosing_path(fi, i);
+                    sinks[fi].report(
+                        i,
+                        "stable-sort-for-reports",
+                        format!(
+                            "`.{pat}()` in `{item}` — equal keys land in arbitrary \
+                             order and can reach report rows; use the stable \
+                             `.{stable}()` or key on the whole element"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Is `text` (starting at `remove-by`) a well-formed
+/// `remove-by: PR <digits>` marker?
+fn well_formed_remove_by(text: &str) -> bool {
+    text.strip_prefix("remove-by")
+        .and_then(|r| r.trim_start().strip_prefix(':'))
+        .and_then(|r| r.trim_start().strip_prefix("PR"))
+        .map(|r| r.trim_start())
+        .is_some_and(|r| r.chars().next().is_some_and(|c| c.is_ascii_digit()))
+}
+
+/// Every `#[deprecated]` item must carry a `remove-by: PR <n>` marker in
+/// its doc/comment block, so shims name the PR that deletes them instead
+/// of rotting. Malformed markers are findings too.
+fn shim_expiry(ws: &Workspace, sinks: &mut [Sink]) {
+    for (fi, file) in ws.files.iter().enumerate() {
+        let view = &ws.views[fi];
+        if view.is_test_path() {
+            continue;
+        }
+        for item in &file.items {
+            if !item.deprecated || view.lines[item.start].in_test {
+                continue;
+            }
+            let mut marker: Option<(usize, String)> = None;
+            for i in item.doc_start..=item.start {
+                let l = &view.lines[i];
+                for chan in [l.comment.as_str(), l.doc.as_str()] {
+                    if let Some(pos) = chan.find("remove-by") {
+                        marker = Some((i, chan[pos..].to_string()));
+                    }
+                }
+            }
+            match marker {
+                None => sinks[fi].report(
+                    item.start,
+                    "shim-expiry",
+                    format!(
+                        "deprecated item `{}` has no `remove-by: PR <n>` marker — \
+                         name the PR that deletes this shim",
+                        item.path
+                    ),
+                ),
+                Some((i, text)) if !well_formed_remove_by(&text) => sinks[fi].report(
+                    i,
+                    "shim-expiry",
+                    format!(
+                        "malformed expiry marker for `{}` — write `remove-by: PR <n>`",
+                        item.path
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::scrub;
-
-    fn view(rel: &str, src: &str) -> FileView {
-        FileView { rel: rel.to_string(), lines: scrub(src) }
-    }
 
     fn run(rel: &str, src: &str) -> Vec<Finding> {
-        let v = view(rel, src);
-        let mut sink = Sink::new(&v);
-        for rule in RULES {
-            (rule.check)(&v, &mut sink);
-        }
-        sink.finish(&v)
+        crate::lint_files(vec![(rel.to_string(), src.to_string())])
     }
 
     #[test]
@@ -632,5 +915,95 @@ mod tests {
             vec!["unused-allow", "allow-syntax", "no-print-in-lib", "allow-syntax"],
             "{found:?}"
         );
+    }
+
+    fn multi_run(files: &[(&str, &str)]) -> Vec<Finding> {
+        crate::lint_files(files.iter().map(|(r, s)| (r.to_string(), s.to_string())).collect())
+    }
+
+    #[test]
+    fn direct_wakes_outside_the_driver_are_flagged() {
+        let src = "pub fn on_wake(sim: &mut Sim) {\n    sim.schedule_app(5, 1);\n}\n";
+        let found = run("crates/doh/src/doh2.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!((found[0].rule, found[0].line), ("wake-via-driver", 2));
+        assert!(run("crates/doh/src/driver.rs", src).is_empty(), "the driver file is blessed");
+        assert!(run("crates/netsim/src/sim.rs", src).is_empty(), "only doh code is scoped");
+    }
+
+    #[test]
+    fn transitive_wakes_are_flagged_at_the_reaching_call() {
+        let endpoint = "use crate::util::rearm;\n\
+                        pub fn on_wake(sim: &mut Sim) {\n    rearm(sim);\n}\n";
+        let util = "pub fn rearm(sim: &mut Sim) {\n    sim.schedule_app_in(3, 1);\n}\n";
+        let found =
+            multi_run(&[("crates/doh/src/doh2.rs", endpoint), ("crates/doh/src/util.rs", util)]);
+        let wake: Vec<&Finding> = found.iter().filter(|f| f.rule == "wake-via-driver").collect();
+        assert_eq!(wake.len(), 2, "{found:?}");
+        assert!(wake.iter().any(|f| f.file.ends_with("doh2.rs")
+            && f.line == 3
+            && f.message.contains("doh::util::rearm")));
+        assert!(wake.iter().any(|f| f.file.ends_with("util.rs") && f.line == 2));
+    }
+
+    #[test]
+    fn calls_into_driver_pump_helpers_stay_legal() {
+        let endpoint = "use crate::driver::drain_routed;\n\
+                        pub fn pump(sim: &mut Sim) {\n    drain_routed(sim);\n}\n";
+        let driver = "pub fn drain_routed(sim: &mut Sim) {\n    sim.next_wake_owned();\n}\n";
+        let found =
+            multi_run(&[("crates/doh/src/lib.rs", endpoint), ("crates/doh/src/driver.rs", driver)]);
+        assert!(
+            found.iter().all(|f| f.rule != "wake-via-driver"),
+            "driver items must not taint their callers: {found:?}"
+        );
+    }
+
+    #[test]
+    fn float_accumulation_is_confined_to_blessed_helpers() {
+        let src = "pub fn mean(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>() / 2.0\n}\n\
+                   pub fn rogue(xs: &[f64]) -> f64 {\n    let mut t = 0.0;\n    \
+                   for x in xs {\n        t += x;\n    }\n    t\n}\n";
+        let found = run("crates/bench/src/stats.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!((found[0].rule, found[0].line), ("no-float-accumulation", 7));
+        assert!(run("crates/bench/src/sweep.rs", src).is_empty(), "only stats/report scoped");
+    }
+
+    #[test]
+    fn keyed_unstable_sorts_are_flagged_in_report_feeding_crates() {
+        let src = "pub fn rows(v: &mut Vec<(u64, u32)>) {\n    \
+                   v.sort_unstable_by_key(|r| r.0);\n    v.sort_unstable();\n}\n";
+        let found = run("crates/workload/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "plain sort_unstable is legal: {found:?}");
+        assert_eq!(found[0].rule, "stable-sort-for-reports");
+        assert!(found[0].message.contains("workload::rows"));
+        assert!(run("crates/netsim/src/sim.rs", src).is_empty(), "netsim is not report-feeding");
+    }
+
+    #[test]
+    fn deprecated_items_need_a_well_formed_expiry_marker() {
+        let missing = "#[deprecated(note = \"old\")]\npub fn shim() {}\n";
+        let found = run("crates/doh/src/lib.rs", missing);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!((found[0].rule, found[0].line), ("shim-expiry", 2));
+
+        let malformed = "/// Old. remove-by: next release\n\
+                         #[deprecated(note = \"old\")]\npub fn shim() {}\n";
+        let found = run("crates/doh/src/lib.rs", malformed);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("malformed"));
+
+        let ok = "/// Old. remove-by: PR 11.\n\
+                  #[deprecated(note = \"old\")]\npub fn shim() {}\n";
+        assert!(run("crates/doh/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_their_enclosing_item_path() {
+        let src = "impl S {\n    fn f(&self) {\n        let t = Instant::now();\n    }\n}\n";
+        let found = run("crates/doh/src/dot.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].item, "doh::dot::S::f");
     }
 }

@@ -1,0 +1,16 @@
+//@ path: crates/bench/src/stats.rs
+//! Rogue float accumulation outside the blessed fixed-order helpers:
+//! `mean` is blessed, `total` is not — its `+=` loop and `.fold()` both
+//! flag.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    let mut t = 0.0;
+    for x in xs {
+        t += x;
+    }
+    xs.iter().fold(t, |acc, x| acc + x)
+}

@@ -1,0 +1,14 @@
+//@ path: crates/workload/src/fake.rs
+//! Keyed unstable sorts in a report-feeding crate: both `_by_key` and
+//! `_by` forms flag (ties land in arbitrary order); the plain
+//! `.sort_unstable()` on the whole element stays legal.
+
+pub struct Rows;
+
+impl Rows {
+    pub fn order(v: &mut Vec<(u64, u32)>) {
+        v.sort_unstable_by_key(|r| r.0);
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v.sort_unstable();
+    }
+}

@@ -1,0 +1,13 @@
+//@ path: crates/doh/src/fake_endpoint.rs
+//! A fixture endpoint that schedules its own wakes instead of routing
+//! them through the `Driver` registry — both the direct call and the
+//! call reaching it through an in-file helper must flag.
+
+pub fn on_wake(sim: &mut Sim) {
+    sim.schedule_app(5, 1);
+    rearm_later(sim);
+}
+
+fn rearm_later(sim: &mut Sim) {
+    sim.schedule_app_in(3, 1);
+}

@@ -6,8 +6,9 @@
 //! together the fixtures must exercise every rule plus the allow
 //! machinery's own meta-findings (`unused-allow`, `allow-syntax`).
 //!
-//! To regenerate an expectation after an intentional rule change:
-//! `cargo run -p dohmark-simlint -- crates/simlint/tests/fixtures/<f>.rs`
+//! To regenerate the expectations after an intentional rule change:
+//! `cargo run -p dohmark-simlint -- --bless` (see `tests/bless.rs` for
+//! the self-consistency guarantees).
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -33,8 +34,8 @@ fn fixture_sources() -> Vec<PathBuf> {
 fn every_fixture_matches_its_expected_findings() {
     let sources = fixture_sources();
     assert!(
-        sources.len() >= 8,
-        "golden corpus shrank: expected at least 8 fixtures, found {}",
+        sources.len() >= 12,
+        "golden corpus shrank: expected at least 12 fixtures, found {}",
         sources.len()
     );
     for path in sources {
@@ -80,4 +81,31 @@ fn corpus_covers_every_rule_and_the_allow_meta_findings() {
     required.insert("allow-syntax".to_string());
     let missing: Vec<&String> = required.difference(&seen).collect();
     assert!(missing.is_empty(), "no fixture exercises: {missing:?} — add one per uncovered rule");
+}
+
+#[test]
+fn corpus_findings_round_trip_through_the_json_format() {
+    // The whole corpus through `--format json`'s renderer, parsed back
+    // with the same in-tree JSON layer CI consumers would use: every
+    // field of every finding must survive, in order.
+    let mut all = Vec::new();
+    for path in fixture_sources() {
+        let source = fs::read_to_string(&path).expect("fixture readable");
+        let rel = path.file_name().expect("file name").to_string_lossy();
+        all.extend(lint_source(&rel, &source));
+    }
+    assert!(!all.is_empty());
+    let doc = dohmark_dns_wire::jsontext::parse(&dohmark_simlint::render_json(&all))
+        .expect("render_json emits valid jsontext");
+    assert_eq!(doc.get("count").and_then(|v| v.as_u64()), Some(all.len() as u64));
+    let rows = doc.get("findings").and_then(|v| v.as_array()).expect("findings array");
+    assert_eq!(rows.len(), all.len());
+    for (row, f) in rows.iter().zip(&all) {
+        assert_eq!(row.get("file").and_then(|v| v.as_str()), Some(f.file.as_str()));
+        assert_eq!(row.get("line").and_then(|v| v.as_u64()), Some(f.line as u64));
+        assert_eq!(row.get("rule").and_then(|v| v.as_str()), Some(f.rule));
+        assert_eq!(row.get("message").and_then(|v| v.as_str()), Some(f.message.as_str()));
+        assert_eq!(row.get("item").and_then(|v| v.as_str()), Some(f.item.as_str()));
+        assert!(!f.item.is_empty(), "every finding carries an item or module path: {f:?}");
+    }
 }

@@ -267,7 +267,10 @@ impl FleetSchedule {
                 queries.push((at, client));
             }
         }
-        // Deterministic global time order; client index breaks exact ties.
+        // Deterministic global time order; client index breaks exact
+        // ties, so the key is the whole element and tied entries are
+        // identical tuples — instability cannot reorder observable bytes.
+        // simlint::allow(stable-sort-for-reports): key is the whole element
         queries.sort_unstable_by_key(|&(at, client)| (at, client));
         // Names are drawn in arrival order from the one shared universe:
         // popularity is a property of the *workload*, not of any client.
@@ -292,7 +295,10 @@ impl FleetSchedule {
     /// compulsory cache misses.
     pub fn distinct_names(&self) -> usize {
         let mut names: Vec<&Name> = self.queries.iter().map(|(_, _, n)| n).collect();
-        names.sort_unstable_by_key(|n| n.to_string());
+        // A stable sort: distinct `Name`s can render to the same string
+        // key, and `dedup` only folds *adjacent* equals — tie order must
+        // not depend on the sort algorithm.
+        names.sort_by_key(|n| n.to_string());
         names.dedup();
         names.len()
     }
