@@ -1,15 +1,41 @@
-//! Figure 1 — DNS queries per page load. **Stub**: waits on the
-//! `pageload` browser dependency-tree engine (see ROADMAP); the binary
-//! already speaks the shared sweep CLI and emits an honest empty report
-//! so downstream tooling can treat every fig harness uniformly.
+//! Figure 1 — DNS queries per page over the Alexa-like site model.
+//!
+//! Samples pages from the Zipf-ranked [`SiteModel`] at several universe
+//! sizes and emits the queries-per-page distribution (mean/median/p95,
+//! plus the raw per-page counts for CDF plotting) as one line of JSON —
+//! the workload side of the paper's Figure 1, no simulator involved.
+//!
+//! [`SiteModel`]: dohmark::workload::SiteModel
 
-use dohmark_bench::{Report, SweepArgs, SweepSpec, Value};
+use dohmark_bench::{Report, SitePagesCell, SweepArgs, SweepSpec, Value};
+
+const DEFAULT_SEEDS: u64 = 10;
+const PAGES: usize = 200;
 
 fn main() {
-    let args = SweepArgs::from_env(1);
-    let empty = SweepSpec::new().run();
+    let args = SweepArgs::from_env(DEFAULT_SEEDS);
+    let sweep = SweepSpec::new()
+        .cells(
+            [100usize, 1_000, 10_000]
+                .into_iter()
+                .map(|sites| Box::new(SitePagesCell { sites, exponent: 1.0, pages: PAGES }) as _),
+        )
+        .seeds(args.seed_range())
+        .threads(args.threads)
+        .run();
     let doc = Report::new("fig1_queries_per_page")
-        .meta("status", Value::Str("stub: pageload engine not yet implemented".to_string()))
-        .render(&empty);
+        .meta("pages", Value::U64(PAGES as u64))
+        .meta("seeds", Value::U64(args.seeds))
+        .columns(&[
+            "mean_queries_per_page",
+            "median_queries_per_page",
+            "p95_queries_per_page",
+            "max_queries_per_page",
+            "mean_resources_per_page",
+            "mean_depth",
+            "queries_per_page",
+        ])
+        .stats(&["mean_queries_per_page"])
+        .render(&sweep);
     args.emit(&doc);
 }

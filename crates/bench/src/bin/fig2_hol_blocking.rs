@@ -1,19 +1,62 @@
-//! Figure 2 — TCP head-of-line blocking under packet loss. **Stub**:
-//! waits on lossy-link profiles biting the transport comparison (see
-//! ROADMAP); the binary already speaks the shared sweep CLI and emits an
-//! honest empty report so downstream tooling can treat every fig harness
-//! uniformly.
+//! Figure 2 — TCP head-of-line blocking under packet loss.
+//!
+//! Loads the same page workload through every transport over a loss
+//! ladder (the clean default, 1/2/4% iid loss, and the named lossy-WiFi
+//! and mobile-3G presets). On Do53, lost datagrams cost one retransmission
+//! timeout each and queries are independent; on the TCP transports a lost
+//! segment stalls the whole connection — DoH-h2 multiplexes every query
+//! onto one such connection, so its page-load time climbs with loss
+//! strictly faster than Do53's. Emits per-cell page-load means with
+//! p5/p95/CI bands as one line of JSON.
 
-use dohmark_bench::{Report, SweepArgs, SweepSpec, Value};
+use dohmark::netsim::{LinkConfig, SimDuration};
+use dohmark_bench::{
+    pageload_transports, PageloadCell, PageloadConfig, Report, SweepArgs, SweepSpec, Value,
+};
+
+const DEFAULT_SEEDS: u64 = 5;
+const PAGES: usize = 8;
+
+/// The loss ladder: a label for report rows and the link it names.
+fn links() -> Vec<(&'static str, LinkConfig)> {
+    let clean = LinkConfig::clean_broadband();
+    vec![
+        ("clean_broadband", clean),
+        ("loss_1pct", clean.loss(0.01)),
+        ("loss_2pct", clean.loss(0.02)),
+        ("loss_4pct", clean.loss(0.04)),
+        ("lossy_wifi", LinkConfig::lossy_wifi()),
+        ("mobile_3g", LinkConfig::mobile_3g()),
+    ]
+}
 
 fn main() {
-    let args = SweepArgs::from_env(1);
-    let empty = SweepSpec::new().run();
+    let args = SweepArgs::from_env(DEFAULT_SEEDS);
+    let mut spec = SweepSpec::new();
+    for transport in pageload_transports() {
+        for (label, link) in links() {
+            let mut cfg = PageloadConfig::new(transport.clone(), label);
+            cfg.transport.link = link;
+            cfg.pages = PAGES;
+            spec = spec.cell(PageloadCell::new(cfg).expect("page budget fits the txn space"));
+        }
+    }
+    let sweep = spec.seeds(args.seed_range()).threads(args.threads).run();
     let doc = Report::new("fig2_hol_blocking")
+        .meta("pages", Value::U64(PAGES as u64))
+        .meta("seeds", Value::U64(args.seeds))
         .meta(
-            "status",
-            Value::Str("stub: lossy-link HOL experiment not yet implemented".to_string()),
+            "udp_retry_initial_ms",
+            Value::U64(SimDuration::from_millis(200).as_nanos() / 1_000_000),
         )
-        .render(&empty);
+        .columns(&[
+            "mean_page_load_ms",
+            "median_page_load_ms",
+            "p95_page_load_ms",
+            "mean_dns_wait_ms",
+            "unresolved",
+        ])
+        .stats(&["mean_page_load_ms"])
+        .render(&sweep);
     args.emit(&doc);
 }

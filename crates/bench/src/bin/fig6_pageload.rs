@@ -1,15 +1,41 @@
-//! Figure 6 — page-load time per transport. **Stub**: waits on the
-//! `pageload` browser dependency-tree engine (see ROADMAP); the binary
-//! already speaks the shared sweep CLI and emits an honest empty report
-//! so downstream tooling can treat every fig harness uniformly.
+//! Figure 6 — page-load time across the four transports.
+//!
+//! Loads the same Zipf-ranked page workload through Do53, DoT, DoH-h1 and
+//! DoH-h2 over the clean-broadband link and emits per-page makespans (the
+//! CDF the paper plots) plus per-cell means with p5/p95/CI bands, as one
+//! line of JSON. At zero loss the four curves sit within a narrow band —
+//! the paper's headline "DoH barely moves page-load time" result, because
+//! DNS wait is a small slice of the dependency-tree makespan.
 
-use dohmark_bench::{Report, SweepArgs, SweepSpec, Value};
+use dohmark_bench::{
+    pageload_transports, PageloadCell, PageloadConfig, Report, SweepArgs, SweepSpec, Value,
+};
+
+const DEFAULT_SEEDS: u64 = 10;
+const PAGES: usize = 20;
 
 fn main() {
-    let args = SweepArgs::from_env(1);
-    let empty = SweepSpec::new().run();
+    let args = SweepArgs::from_env(DEFAULT_SEEDS);
+    let mut spec = SweepSpec::new();
+    for transport in pageload_transports() {
+        let mut cfg = PageloadConfig::new(transport, "clean_broadband");
+        cfg.pages = PAGES;
+        spec = spec.cell(PageloadCell::new(cfg).expect("page budget fits the txn space"));
+    }
+    let sweep = spec.seeds(args.seed_range()).threads(args.threads).run();
     let doc = Report::new("fig6_pageload")
-        .meta("status", Value::Str("stub: pageload engine not yet implemented".to_string()))
-        .render(&empty);
+        .meta("pages", Value::U64(PAGES as u64))
+        .meta("seeds", Value::U64(args.seeds))
+        .columns(&[
+            "mean_page_load_ms",
+            "median_page_load_ms",
+            "p95_page_load_ms",
+            "mean_dns_queries",
+            "mean_dns_wait_ms",
+            "unresolved",
+            "page_load_ms",
+        ])
+        .stats(&["mean_page_load_ms"])
+        .render(&sweep);
     args.emit(&doc);
 }

@@ -39,18 +39,26 @@ pub mod sweep;
 
 pub use cli::SweepArgs;
 pub use report::{Report, Value};
-pub use sweep::{Cell, CellId, CellOutcome, FleetCell, MatrixCell, SweepReport, SweepSpec};
+pub use sweep::{
+    Cell, CellId, CellOutcome, FleetCell, MatrixCell, PageloadCell, SitePagesCell, SweepReport,
+    SweepSpec, WorkloadStatsCell,
+};
 
 use dohmark::dns::Name;
 use dohmark::doh::{
-    Driver, RecursiveResolver, ReusePolicy, ServerBackend, TransportConfig, TransportKind, Zone,
+    Driver, RecursiveResolver, ReusePolicy, ServerBackend, TransportConfig, TransportKind,
+    UdpRetry, Zone,
 };
 use dohmark::netsim::{Cost, LayerTag, Sim, SimDuration};
-use dohmark::workload::{FleetSchedule, QuerySchedule};
+use dohmark::pageload::{load_page, FetchModel};
+use dohmark::workload::{FleetSchedule, QuerySchedule, SiteModel};
 use std::fmt;
 
 /// RNG stream label the harnesses draw their workload from.
 pub const WORKLOAD_STREAM: u64 = 7;
+
+/// RNG stream label the page-load harness builds its site model from.
+pub const SITE_STREAM: u64 = 8;
 
 /// Aggregated result of one (matrix cell × seed) run.
 #[derive(Debug, Clone, PartialEq)]
@@ -412,6 +420,196 @@ pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> Result<FleetRun, TxnSpace
         bytes_per_resolution: total_bytes as f64 / n,
         stub_bytes_per_resolution: total_bytes.saturating_sub(upstream_bytes) as f64 / n,
     })
+}
+
+/// Parameters of one page-load run: `pages` dependency-tree pages drawn
+/// from an Alexa-like Zipf [`SiteModel`], each loaded through the
+/// `transport` cell with every resource fetch gated on a DNS resolution
+/// (see [`dohmark::pageload`]).
+#[derive(Debug, Clone)]
+pub struct PageloadConfig {
+    /// The stub-to-resolver transport cell; its link also prices the
+    /// resource fetches, so DNS and content share one last mile.
+    pub transport: TransportConfig,
+    /// Names the link profile in cell ids and report rows
+    /// (`clean_broadband`, `loss_2pct`, …) — the transport label alone
+    /// cannot distinguish the fig2 loss ladder.
+    pub link_label: String,
+    /// Pages loaded per run (sequentially, each a fresh navigation).
+    pub pages: usize,
+    /// Site-model universe (distinct sites ranked by popularity).
+    pub sites: usize,
+    /// Zipf popularity exponent over site ranks.
+    pub exponent: f64,
+}
+
+impl PageloadConfig {
+    /// A page-load cell with the defaults the experiments use: 12 pages
+    /// over a 1000-site universe at Zipf exponent 1.0.
+    pub fn new(transport: TransportConfig, link_label: impl Into<String>) -> PageloadConfig {
+        PageloadConfig {
+            transport,
+            link_label: link_label.into(),
+            pages: 12,
+            sites: 1000,
+            exponent: 1.0,
+        }
+    }
+
+    /// Errors if the run could need more globally unique transaction ids
+    /// than the `u16` space holds: every page resolves at most
+    /// [`SiteModel::MAX_DOMAINS`] domains, so `pages × MAX_DOMAINS` must
+    /// fit in [`MAX_FLEET_QUERIES`].
+    pub fn check_txn_space(&self) -> Result<(), TxnSpaceExhausted> {
+        let requested = self.pages * SiteModel::MAX_DOMAINS;
+        if requested > MAX_FLEET_QUERIES {
+            return Err(TxnSpaceExhausted { requested });
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated result of one (page-load cell × seed) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageloadRun {
+    /// Human-readable transport-cell label.
+    pub label: String,
+    /// Transport label (`do53` / `dot` / `doh-h1` / `doh-h2`).
+    pub transport: String,
+    /// Link-profile label (`clean_broadband`, `loss_2pct`, …).
+    pub link_label: String,
+    /// The iid loss probability of the link, echoed for fig2 plotting.
+    pub loss: f64,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Per-page makespans in milliseconds, page order — the fig6 CDF.
+    pub page_load_ms: Vec<f64>,
+    /// Mean page-load time over the run's pages.
+    pub mean_page_load_ms: f64,
+    /// Mean DNS resolutions per page (the fig1 quantity, measured live).
+    pub mean_dns_queries: f64,
+    /// Mean total DNS wait per page, milliseconds.
+    pub mean_dns_wait_ms: f64,
+    /// Resources that never loaded, summed over pages (lost resolutions
+    /// starving their dependency subtrees).
+    pub unresolved: u64,
+}
+
+impl PageloadRun {
+    /// This run as a sweep outcome: identity fields (transport, link)
+    /// plus the selectable measurement columns.
+    pub fn outcome(&self) -> CellOutcome {
+        CellOutcome {
+            identity: vec![
+                ("transport".to_string(), Value::Str(self.transport.clone())),
+                ("link".to_string(), Value::Str(self.link_label.clone())),
+                ("loss".to_string(), Value::Fixed(self.loss, 4)),
+                ("pages".to_string(), Value::U64(self.page_load_ms.len() as u64)),
+            ],
+            fields: vec![
+                ("mean_page_load_ms".to_string(), Value::fixed2(self.mean_page_load_ms)),
+                (
+                    "median_page_load_ms".to_string(),
+                    Value::fixed2(stats::median(&self.page_load_ms)),
+                ),
+                (
+                    "p95_page_load_ms".to_string(),
+                    Value::fixed2(stats::percentile(&self.page_load_ms, 95.0)),
+                ),
+                ("mean_dns_queries".to_string(), Value::fixed2(self.mean_dns_queries)),
+                ("mean_dns_wait_ms".to_string(), Value::fixed2(self.mean_dns_wait_ms)),
+                ("unresolved".to_string(), Value::U64(self.unresolved)),
+                (
+                    "page_load_ms".to_string(),
+                    Value::Array(self.page_load_ms.iter().map(|&v| Value::fixed2(v)).collect()),
+                ),
+            ],
+        }
+    }
+}
+
+/// Milliseconds, as the reports print durations.
+fn as_ms(d: SimDuration) -> f64 {
+    d.as_nanos() as f64 / 1e6
+}
+
+/// Drives one page-load cell: builds a stub/resolver pair over the
+/// cell's link, registers the transport in a [`Driver`], draws `pages`
+/// dependency-tree pages from a seeded [`SiteModel`] and loads each
+/// through [`load_page`] — DNS per distinct domain, fetches gated on
+/// resolution, makespan over the shared event loop. Deterministic in
+/// `seed`; page shapes depend only on `(seed, rank)`, so two transports
+/// under the same seed load identical page workloads.
+///
+/// Errors with [`TxnSpaceExhausted`] when `pages ×`
+/// [`SiteModel::MAX_DOMAINS`] exceeds [`MAX_FLEET_QUERIES`].
+pub fn run_pageload_cell(
+    cfg: &PageloadConfig,
+    seed: u64,
+) -> Result<PageloadRun, TxnSpaceExhausted> {
+    cfg.check_txn_space()?;
+
+    let mut sim = Sim::new(seed);
+    let stub = sim.add_host("stub");
+    let resolver = sim.add_host("resolver");
+    sim.add_link(stub, resolver, cfg.transport.link);
+    let mut driver = Driver::new();
+    driver.register(&mut sim, |sim| cfg.transport.build_server(sim, resolver));
+    let client = driver.register_resolver(&mut sim, |_| cfg.transport.build_client(stub, resolver));
+
+    let zone = Name::parse("sites.dohmark.test").expect("static zone name parses");
+    let mut site_rng = sim.split_rng(SITE_STREAM);
+    let mut model = SiteModel::new(&mut site_rng, &zone, cfg.sites, cfg.exponent);
+    let fetch = FetchModel::from_link(&cfg.transport.link);
+
+    let mut txn_base = 1u16;
+    let mut page_load_ms = Vec::with_capacity(cfg.pages);
+    let mut dns_queries = Vec::with_capacity(cfg.pages);
+    let mut dns_wait_ms = Vec::with_capacity(cfg.pages);
+    let mut unresolved = 0u64;
+    for _ in 0..cfg.pages {
+        let page = model.next_page();
+        let result = load_page(&mut sim, &mut driver, client, &page, &fetch, txn_base);
+        // Validated up front: pages × MAX_DOMAINS ids fit the u16 space.
+        txn_base += page.domains.len() as u16;
+        page_load_ms.push(as_ms(result.makespan));
+        dns_queries.push(f64::from(result.dns_queries));
+        dns_wait_ms.push(as_ms(result.dns_wait_total));
+        unresolved += u64::from(result.unresolved);
+    }
+    driver.close(&mut sim, client);
+    driver.run_until_quiescent(&mut sim);
+
+    Ok(PageloadRun {
+        label: cfg.transport.label(),
+        transport: cfg.transport.kind.label().to_string(),
+        link_label: cfg.link_label.clone(),
+        loss: cfg.transport.link.loss,
+        seed,
+        mean_page_load_ms: stats::mean(&page_load_ms),
+        mean_dns_queries: stats::mean(&dns_queries),
+        mean_dns_wait_ms: stats::mean(&dns_wait_ms),
+        unresolved,
+        page_load_ms,
+    })
+}
+
+/// The four transport cells the page-load experiments sweep:
+/// [`fleet_transports`] with Do53 given the standard retransmission
+/// policy — on lossy links a retry-less stub would conflate "UDP has no
+/// head-of-line blocking" with "a lost datagram loses the page", and the
+/// paper's Figure 2 contrast is about the former.
+pub fn pageload_transports() -> Vec<TransportConfig> {
+    fleet_transports()
+        .into_iter()
+        .map(|cfg| {
+            if cfg.kind == TransportKind::Do53 {
+                cfg.with_udp_retry(UdpRetry::standard())
+            } else {
+                cfg
+            }
+        })
+        .collect()
 }
 
 /// The four transport cells the fleet experiments sweep: Do53 plus the

@@ -137,6 +137,165 @@ impl Cell for FleetCell {
     }
 }
 
+/// A page-load cell: `pages` dependency-tree pages loaded through one
+/// transport over one named link profile
+/// (via [`run_pageload_cell`](crate::run_pageload_cell)). Construction
+/// validates the transaction-id budget up front, like [`FleetCell`].
+#[derive(Debug, Clone)]
+pub struct PageloadCell {
+    cfg: crate::PageloadConfig,
+}
+
+impl PageloadCell {
+    /// Wraps a validated page-load configuration; errors if
+    /// `pages × SiteModel::MAX_DOMAINS` exceeds the u16 transaction-id
+    /// space (see [`MAX_FLEET_QUERIES`](crate::MAX_FLEET_QUERIES)).
+    pub fn new(cfg: crate::PageloadConfig) -> Result<PageloadCell, crate::TxnSpaceExhausted> {
+        cfg.check_txn_space()?;
+        Ok(PageloadCell { cfg })
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &crate::PageloadConfig {
+        &self.cfg
+    }
+}
+
+impl Cell for PageloadCell {
+    fn id(&self) -> CellId {
+        CellId::new(format!("{} {}", self.cfg.transport.label(), self.cfg.link_label))
+    }
+
+    fn run(&self, seed: u64) -> CellOutcome {
+        crate::run_pageload_cell(&self.cfg, seed)
+            .expect("txn space validated at construction")
+            .outcome()
+    }
+}
+
+/// A pure-workload cell for Figure 1: draws `pages` pages from a seeded
+/// [`SiteModel`](dohmark::workload::SiteModel) and reports the
+/// DNS-queries-per-page distribution — no simulator, no transport; the
+/// quantity is a property of the site model alone.
+#[derive(Debug, Clone)]
+pub struct SitePagesCell {
+    /// Site-model universe (distinct sites).
+    pub sites: usize,
+    /// Zipf popularity exponent over site ranks.
+    pub exponent: f64,
+    /// Pages sampled per run.
+    pub pages: usize,
+}
+
+impl Cell for SitePagesCell {
+    fn id(&self) -> CellId {
+        CellId::new(format!("sites={} exponent={:.2}", self.sites, self.exponent))
+    }
+
+    fn run(&self, seed: u64) -> CellOutcome {
+        let zone = dohmark::dns::Name::parse("sites.dohmark.test").expect("static name parses");
+        let mut rng = dohmark::netsim::SimRng::new(seed);
+        let mut model =
+            dohmark::workload::SiteModel::new(&mut rng, &zone, self.sites, self.exponent);
+        let pages: Vec<_> = (0..self.pages).map(|_| model.next_page()).collect();
+        let queries: Vec<f64> = pages.iter().map(|p| p.dns_queries() as f64).collect();
+        let resources: Vec<f64> = pages.iter().map(|p| p.resources.len() as f64).collect();
+        let depths: Vec<f64> = pages.iter().map(|p| p.depth() as f64).collect();
+        CellOutcome {
+            identity: vec![
+                ("sites".to_string(), Value::U64(self.sites as u64)),
+                ("exponent".to_string(), Value::Fixed(self.exponent, 2)),
+                ("pages".to_string(), Value::U64(self.pages as u64)),
+            ],
+            fields: vec![
+                ("mean_queries_per_page".to_string(), Value::fixed2(crate::stats::mean(&queries))),
+                (
+                    "median_queries_per_page".to_string(),
+                    Value::fixed2(crate::stats::median(&queries)),
+                ),
+                (
+                    "p95_queries_per_page".to_string(),
+                    Value::fixed2(crate::stats::percentile(&queries, 95.0)),
+                ),
+                (
+                    "max_queries_per_page".to_string(),
+                    Value::U64(pages.iter().map(|p| p.dns_queries()).max().unwrap_or(0) as u64),
+                ),
+                (
+                    "mean_resources_per_page".to_string(),
+                    Value::fixed2(crate::stats::mean(&resources)),
+                ),
+                ("mean_depth".to_string(), Value::fixed2(crate::stats::mean(&depths))),
+                (
+                    "queries_per_page".to_string(),
+                    Value::Array(
+                        pages.iter().map(|p| Value::U64(p.dns_queries() as u64)).collect(),
+                    ),
+                ),
+            ],
+        }
+    }
+}
+
+/// A pure-workload cell for the workload-stats table: generates a seeded
+/// [`FleetSchedule`](dohmark::workload::FleetSchedule) and reports its
+/// Zipf/fleet summary statistics — total and distinct names, the
+/// name-reuse ratio that upper-bounds any cache hit rate, and the
+/// schedule's time span.
+#[derive(Debug, Clone)]
+pub struct WorkloadStatsCell {
+    /// Fleet size.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_per_client: usize,
+    /// Zipf name-universe size.
+    pub universe: usize,
+    /// Zipf popularity exponent.
+    pub exponent: f64,
+}
+
+impl Cell for WorkloadStatsCell {
+    fn id(&self) -> CellId {
+        CellId::new(format!("clients={} universe={}", self.clients, self.universe))
+    }
+
+    fn run(&self, seed: u64) -> CellOutcome {
+        use dohmark::netsim::{SimDuration, SimTime};
+        let zone = dohmark::dns::Name::parse("dohmark.test").expect("static name parses");
+        let mut rng = dohmark::netsim::SimRng::new(seed);
+        let schedule = dohmark::workload::FleetSchedule::generate(
+            &mut rng,
+            self.clients,
+            SimDuration::from_millis(200),
+            self.queries_per_client,
+            &zone,
+            self.universe,
+            self.exponent,
+        );
+        let total = schedule.len();
+        let distinct = schedule.distinct_names();
+        let span =
+            schedule.queries.last().map_or(SimDuration::ZERO, |(at, _, _)| *at - SimTime::ZERO);
+        CellOutcome {
+            identity: vec![
+                ("clients".to_string(), Value::U64(self.clients as u64)),
+                ("queries_per_client".to_string(), Value::U64(self.queries_per_client as u64)),
+                ("universe".to_string(), Value::U64(self.universe as u64)),
+                ("exponent".to_string(), Value::Fixed(self.exponent, 2)),
+            ],
+            fields: vec![
+                ("queries".to_string(), Value::U64(total as u64)),
+                ("distinct_names".to_string(), Value::U64(distinct as u64)),
+                (
+                    "reuse_ratio".to_string(),
+                    Value::Fixed(1.0 - distinct as f64 / (total as f64).max(1.0), 4),
+                ),
+                ("span_ms".to_string(), Value::fixed2(span.as_nanos() as f64 / 1e6)),
+            ],
+        }
+    }
+}
+
 /// Builder for one sweep: which cells, which seeds, how many workers.
 #[derive(Default)]
 pub struct SweepSpec {

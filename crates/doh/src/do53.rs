@@ -11,8 +11,42 @@
 use crate::resolver::ServerBackend;
 use crate::{Endpoint, Resolver};
 use dohmark_dns_wire::{Message, Name, RecordType};
-use dohmark_netsim::{HostId, LayerTag, Sim, SockId, Wake};
+use dohmark_netsim::{HostId, LayerTag, Sim, SimDuration, SockId, Wake};
 use std::net::Ipv4Addr;
+
+/// Retransmission policy for queries over UDP: resend after `initial`,
+/// doubling the timeout on every retry (capped at [`UdpRetry::max_rto`]),
+/// up to `max_retries` resends — after which the query is abandoned.
+///
+/// The defaults mirror the simulator's TCP loss-recovery constants
+/// (200 ms initial RTO, 6 retries), so a lossy-link comparison between
+/// Do53 and the TCP transports measures head-of-line blocking, not a
+/// difference in how aggressively each side retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UdpRetry {
+    /// Timeout before the first retransmission.
+    pub initial: SimDuration,
+    /// Maximum number of retransmissions per query.
+    pub max_retries: u32,
+}
+
+impl UdpRetry {
+    /// Backoff ceiling, matching TCP's maximum RTO.
+    pub fn max_rto() -> SimDuration {
+        SimDuration::from_secs(60)
+    }
+
+    /// The TCP-mirroring default policy: 200 ms initial, 6 retries.
+    pub fn standard() -> UdpRetry {
+        UdpRetry { initial: SimDuration::from_millis(200), max_retries: 6 }
+    }
+}
+
+/// High bits of the retransmission-timer tokens, keeping them disjoint
+/// from [`ADVANCE_TOKEN`](crate::ADVANCE_TOKEN) (`u64::MAX`) and from any
+/// harness-owned token namespace; the low 16 bits carry the transaction
+/// id the timer belongs to.
+const RETRY_TOKEN_BASE: u64 = 0xD053 << 32;
 
 /// A Do53 server answering from a pluggable [`ServerBackend`] —
 /// authoritative zone data or a shared caching recursive resolver.
@@ -79,20 +113,70 @@ impl Endpoint for Do53Server {
     }
 }
 
-/// A Do53 client multiplexing queries over fresh ephemeral source ports.
+/// One in-flight Do53 query and its retransmission state.
+#[derive(Debug)]
+struct PendingQuery {
+    /// DNS transaction id (doubles as the attribution id).
+    id: u16,
+    /// The ephemeral socket the reply arrives on; retransmissions reuse
+    /// it, as a real stub resolver resends from the same source port.
+    sock: SockId,
+    /// The encoded query, kept for retransmission.
+    wire: Vec<u8>,
+    /// Retransmissions still allowed.
+    retries_left: u32,
+    /// Timeout armed for the *next* retransmission (doubles each time).
+    next_timeout: SimDuration,
+}
+
+/// A Do53 client multiplexing queries over fresh ephemeral source ports,
+/// optionally retransmitting on an [`UdpRetry`] timeout schedule.
 #[derive(Debug)]
 pub struct Do53Client {
     host: HostId,
     server: (HostId, u16),
-    /// In-flight queries: `(transaction id, socket the reply arrives on)`.
-    pending: Vec<(u16, SockId)>,
+    retry: Option<UdpRetry>,
+    pending: Vec<PendingQuery>,
     responses: Vec<Message>,
 }
 
 impl Do53Client {
-    /// A client on `host` querying `server`.
+    /// A client on `host` querying `server`. No retransmission: a lost
+    /// datagram loses the query, the paper's §3 measurement-client shape.
     pub fn new(host: HostId, server: (HostId, u16)) -> Do53Client {
-        Do53Client { host, server, pending: Vec::new(), responses: Vec::new() }
+        Do53Client { host, server, retry: None, pending: Vec::new(), responses: Vec::new() }
+    }
+
+    /// A client that retransmits unanswered queries on `retry`'s timeout
+    /// schedule — the stub-resolver shape the page-load experiments need
+    /// on lossy links, where "a lost query never resolves" would conflate
+    /// transport loss behaviour with client give-up behaviour.
+    pub fn with_retry(host: HostId, server: (HostId, u16), retry: UdpRetry) -> Do53Client {
+        Do53Client { host, server, retry: Some(retry), pending: Vec::new(), responses: Vec::new() }
+    }
+
+    /// Handles a retransmission-timer wake; returns `true` if the token
+    /// belonged to this client's timer namespace.
+    fn on_retry_timer(&mut self, sim: &mut Sim, token: u64) -> bool {
+        if token & !0xFFFF != RETRY_TOKEN_BASE {
+            return false;
+        }
+        let id = (token & 0xFFFF) as u16;
+        // A stale timer for an already-answered query finds no pending
+        // entry and falls through silently — each fire rearms at most
+        // one successor, so chains die with their query.
+        if let Some(q) = self.pending.iter_mut().find(|q| q.id == id) {
+            if q.retries_left > 0 {
+                q.retries_left -= 1;
+                sim.set_attr(u32::from(q.id));
+                sim.udp_send(q.sock, self.server, LayerTag::DnsPayload, q.wire.clone());
+                let doubled = SimDuration::from_nanos(q.next_timeout.as_nanos().saturating_mul(2));
+                q.next_timeout =
+                    if doubled > UdpRetry::max_rto() { UdpRetry::max_rto() } else { doubled };
+                crate::driver::schedule_endpoint_timer(sim, q.next_timeout, token);
+            }
+        }
+        true
     }
 
     /// Sends the query and runs the simulation until its response arrives,
@@ -112,13 +196,23 @@ impl Do53Client {
 
 impl Resolver for Do53Client {
     /// Sends an A query for `name` with transaction (and attribution) id
-    /// `id` from a freshly bound ephemeral port.
+    /// `id` from a freshly bound ephemeral port, arming the first
+    /// retransmission timer when the client has an [`UdpRetry`] policy.
     fn send_query(&mut self, sim: &mut Sim, name: &Name, id: u16) {
         let sock = sim.udp_bind(self.host, 0);
         sim.set_attr(u32::from(id));
         let query = Message::query(id, name, RecordType::A);
-        sim.udp_send(sock, self.server, LayerTag::DnsPayload, query.encode());
-        self.pending.push((id, sock));
+        let wire = query.encode();
+        sim.udp_send(sock, self.server, LayerTag::DnsPayload, wire.clone());
+        let (retries_left, next_timeout) = match self.retry {
+            Some(retry) => {
+                let token = RETRY_TOKEN_BASE | u64::from(id);
+                crate::driver::schedule_endpoint_timer(sim, retry.initial, token);
+                (retry.max_retries, retry.initial)
+            }
+            None => (0, SimDuration::ZERO),
+        };
+        self.pending.push(PendingQuery { id, sock, wire, retries_left, next_timeout });
     }
 
     fn take_response(&mut self, id: u16) -> Option<Message> {
@@ -128,29 +222,36 @@ impl Resolver for Do53Client {
 
     /// Closes the ephemeral sockets of any still-unanswered queries.
     fn close(&mut self, sim: &mut Sim) {
-        for (_, sock) in self.pending.drain(..) {
-            sim.udp_close(sock);
+        for q in self.pending.drain(..) {
+            sim.udp_close(q.sock);
         }
     }
 }
 
 impl Endpoint for Do53Client {
     fn on_wake(&mut self, sim: &mut Sim, wake: &Wake) {
-        let Wake::UdpReadable { sock, .. } = wake else { return };
-        let Some(idx) = self.pending.iter().position(|(_, s)| s == sock) else {
-            return;
-        };
-        while let Some((_, _, data)) = sim.udp_recv(*sock) {
-            let Ok(response) = Message::decode(&data) else { continue };
-            if response.header.id == self.pending[idx].0 {
-                self.pending.remove(idx);
-                self.responses.push(response);
-                // The query's ephemeral socket has served its purpose;
-                // closing it keeps a long-running client from aliasing
-                // wrapped ephemeral ports onto dead sockets.
-                sim.udp_close(*sock);
-                break;
+        match wake {
+            Wake::AppTimer { token, .. } => {
+                self.on_retry_timer(sim, *token);
             }
+            Wake::UdpReadable { sock, .. } => {
+                let Some(idx) = self.pending.iter().position(|q| q.sock == *sock) else {
+                    return;
+                };
+                while let Some((_, _, data)) = sim.udp_recv(*sock) {
+                    let Ok(response) = Message::decode(&data) else { continue };
+                    if response.header.id == self.pending[idx].id {
+                        self.pending.remove(idx);
+                        self.responses.push(response);
+                        // The query's ephemeral socket has served its purpose;
+                        // closing it keeps a long-running client from aliasing
+                        // wrapped ephemeral ports onto dead sockets.
+                        sim.udp_close(*sock);
+                        break;
+                    }
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -246,5 +347,64 @@ mod tests {
         let mut client = Do53Client::new(stub, (resolver, 53));
         let name = Name::parse("abcdefgh.dohmark.test").unwrap();
         assert!(client.resolve(&mut sim, &mut server, &name, 1).is_none());
+    }
+
+    #[test]
+    fn retry_recovers_a_lossy_resolution() {
+        // At 30% iid loss a retry-less stub fails whole resolutions; the
+        // retransmitting client recovers every one of a batch, because a
+        // per-attempt success chance of ~0.49 over 7 transmissions leaves
+        // a failure probability under 1%.
+        let mut sim = Sim::new(11);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, LinkConfig::localhost().loss(0.3));
+        let mut server = Do53Server::bind(&mut sim, resolver, 53, Ipv4Addr::new(192, 0, 2, 7), 60);
+        let mut client = Do53Client::with_retry(stub, (resolver, 53), UdpRetry::standard());
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        for id in 1..=8u16 {
+            let response = client.resolve(&mut sim, &mut server, &name, id);
+            assert!(response.is_some(), "id {id} failed despite retries");
+        }
+    }
+
+    #[test]
+    fn retry_gives_up_after_its_budget_on_a_dead_link() {
+        let mut sim = Sim::new(6);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, LinkConfig::localhost().loss(1.0));
+        let mut server = Do53Server::bind(&mut sim, resolver, 53, Ipv4Addr::new(192, 0, 2, 7), 60);
+        let mut client = Do53Client::with_retry(stub, (resolver, 53), UdpRetry::standard());
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        assert!(client.resolve(&mut sim, &mut server, &name, 1).is_none());
+        // Original send + 6 retransmissions, every one dropped on the link.
+        assert_eq!(sim.dropped_packets(), 7);
+    }
+
+    #[test]
+    fn retransmissions_reuse_the_original_source_port() {
+        let mut sim = Sim::new(7);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, LinkConfig::localhost().loss(1.0));
+        sim.trace.enable(32);
+        let mut server = Do53Server::bind(&mut sim, resolver, 53, Ipv4Addr::new(192, 0, 2, 7), 60);
+        let mut client = Do53Client::with_retry(
+            stub,
+            (resolver, 53),
+            UdpRetry { initial: SimDuration::from_millis(200), max_retries: 2 },
+        );
+        let name = Name::parse("abcdefgh.dohmark.test").unwrap();
+        client.resolve(&mut sim, &mut server, &name, 1);
+        let sources: Vec<String> = sim
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.direction.starts_with("stub"))
+            .map(|r| r.direction.clone())
+            .collect();
+        assert_eq!(sources.len(), 3, "original + 2 retransmissions");
+        assert!(sources.iter().all(|s| s == &sources[0]), "{sources:?}");
     }
 }

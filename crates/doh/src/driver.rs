@@ -38,7 +38,18 @@
 
 use crate::{Endpoint, Resolver, ADVANCE_TOKEN};
 use dohmark_dns_wire::{Message, Name};
-use dohmark_netsim::{Sim, SimTime, Wake};
+use dohmark_netsim::{Sim, SimDuration, SimTime, Wake};
+
+/// Arms an application timer on behalf of an endpoint — the blessed wake
+/// scheduling path for endpoint re-arm logic (retransmission timeouts,
+/// keep-alives). Lives in the driver module so all wake scheduling stays
+/// auditable in one place; the timer inherits the owner installed around
+/// the calling endpoint's callback, so the [`Driver`] routes the eventual
+/// [`Wake::AppTimer`] straight back to that endpoint.
+pub(crate) fn schedule_endpoint_timer(sim: &mut Sim, delay: SimDuration, token: u64) {
+    debug_assert_ne!(token, ADVANCE_TOKEN, "token is reserved for Driver::advance_until");
+    sim.schedule_app_in(delay, token);
+}
 
 /// Identifier of an endpoint registered with a [`Driver`]. Doubles as the
 /// netsim wake-ownership id the endpoint's handles are stamped with; id
@@ -230,6 +241,15 @@ impl Driver {
         sim.set_owner(owner);
         self.slots[owner as usize - 1].on_wake(sim, wake);
         sim.set_owner(prev);
+    }
+
+    /// Routes one externally popped wake — the entry point for harnesses
+    /// that run their own event loop (e.g. the page-load engine, which
+    /// interleaves its fetch-completion timers with DNS wakes): pop with
+    /// [`Sim::next_wake_owned`], handle your own tokens, and hand
+    /// everything else here.
+    pub fn dispatch(&mut self, sim: &mut Sim, wake: &Wake, owner: u64) {
+        self.route(sim, wake, owner);
     }
 
     /// Starts a resolution on the registered client `id` (transaction and

@@ -31,9 +31,9 @@
 use crate::resolver::ServerBackend;
 use crate::{
     Do53Client, Do53Server, DohH1Client, DohH1Server, DohH2Client, DohH2Server, DotClient,
-    DotServer, Endpoint, Resolver, ReusePolicy,
+    DotServer, Endpoint, Resolver, ReusePolicy, UdpRetry,
 };
-use dohmark_netsim::{HostId, LinkConfig, Sim, SimDuration};
+use dohmark_netsim::{HostId, LinkConfig, Sim};
 use dohmark_tls_model::{TlsConfig, TlsVersion, ALPN_DOT, ALPN_H2, ALPN_HTTP11};
 use std::net::Ipv4Addr;
 
@@ -113,11 +113,18 @@ pub struct TransportConfig {
     /// Attribution id for persistent-connection setup bytes; fresh
     /// connections charge setup to the resolution that opened them.
     pub conn_attr: u32,
+    /// Retransmission policy for Do53 (ignored by the TLS transports,
+    /// whose TCP layer already retransmits). `None` — the default —
+    /// models a stub with no application retry, so a lost datagram loses
+    /// the resolution; lossy-link experiments set
+    /// [`UdpRetry::standard`].
+    pub udp_retry: Option<UdpRetry>,
 }
 
 impl TransportConfig {
     /// A matrix cell with the defaults the examples use: TLS 1.3, no
-    /// resumption, a 14 ms/50 Mbit s⁻¹ link and `dns.example.net`.
+    /// resumption, the [`LinkConfig::clean_broadband`] link
+    /// (14 ms/50 Mbit s⁻¹) and `dns.example.net`.
     pub fn new(kind: TransportKind, reuse: ReusePolicy) -> TransportConfig {
         TransportConfig {
             kind,
@@ -125,16 +132,24 @@ impl TransportConfig {
             tls_version: TlsVersion::Tls13,
             resumption: false,
             sni: "dns.example.net".to_string(),
-            link: LinkConfig::with_rtt(SimDuration::from_millis(14)).bandwidth_mbps(50),
+            link: LinkConfig::clean_broadband(),
             answer: Ipv4Addr::new(192, 0, 2, 1),
             ttl: 300,
             conn_attr: 0,
+            udp_retry: None,
         }
     }
 
     /// Enables TLS session resumption (builder style).
     pub fn resumed(mut self) -> TransportConfig {
         self.resumption = true;
+        self
+    }
+
+    /// Enables Do53 datagram retransmission (builder style); a no-op for
+    /// the TLS transports, which never consult the policy.
+    pub fn with_udp_retry(mut self, retry: UdpRetry) -> TransportConfig {
+        self.udp_retry = Some(retry);
         self
     }
 
@@ -214,7 +229,10 @@ impl TransportConfig {
     pub fn build_client(&self, stub: HostId, resolver: HostId) -> Box<dyn Resolver> {
         let server_addr = (resolver, self.kind.port());
         match self.kind {
-            TransportKind::Do53 => Box::new(Do53Client::new(stub, server_addr)),
+            TransportKind::Do53 => match self.udp_retry {
+                Some(retry) => Box::new(Do53Client::with_retry(stub, server_addr, retry)),
+                None => Box::new(Do53Client::new(stub, server_addr)),
+            },
             TransportKind::Dot => {
                 let tls = self.tls().expect("dot uses tls");
                 Box::new(DotClient::new(stub, server_addr, tls, self.reuse, self.conn_attr))

@@ -68,6 +68,36 @@ impl LinkConfig {
         )
     }
 
+    /// The clean access-network profile the transport-matrix experiments
+    /// default to: 14 ms RTT, 50 Mbit s⁻¹, no jitter, no loss — a wired
+    /// broadband last mile to a nearby resolver (the paper's §3 "good
+    /// network" case).
+    pub fn clean_broadband() -> LinkConfig {
+        LinkConfig::with_rtt(SimDuration::from_millis(14)).bandwidth_mbps(50)
+    }
+
+    /// A congested home-WiFi profile: 20 ms RTT, 20 Mbit s⁻¹, up to 3 ms
+    /// of per-packet jitter and 1% iid loss — enough loss that TCP
+    /// retransmission timers (and head-of-line blocking on multiplexed
+    /// transports) show up in page-load tails.
+    pub fn lossy_wifi() -> LinkConfig {
+        LinkConfig::with_rtt(SimDuration::from_millis(20))
+            .bandwidth_mbps(20)
+            .jitter(SimDuration::from_millis(3))
+            .loss(0.01)
+    }
+
+    /// A cellular 3G profile: 100 ms RTT, 4 Mbit s⁻¹, up to 15 ms of
+    /// per-packet jitter and 2% iid loss — the paper's worst measured
+    /// vantage class, where every handshake round trip is expensive and
+    /// loss recovery dominates tails.
+    pub fn mobile_3g() -> LinkConfig {
+        LinkConfig::with_rtt(SimDuration::from_millis(100))
+            .bandwidth_mbps(4)
+            .jitter(SimDuration::from_millis(15))
+            .loss(0.02)
+    }
+
     /// Sets the bandwidth in megabits per second.
     pub fn bandwidth_mbps(mut self, mbps: u64) -> LinkConfig {
         self.bandwidth_bps = Some(mbps * 1_000_000);
@@ -213,6 +243,31 @@ mod tests {
         // Zero bandwidth clamps to 1 bps instead of dividing by zero.
         let zero = LinkConfig { bandwidth_bps: Some(0), ..LinkConfig::default() };
         assert_eq!(zero.serialise(1), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn named_presets_pin_their_documented_values() {
+        let clean = LinkConfig::clean_broadband();
+        assert_eq!(clean.latency, SimDuration::from_millis(7));
+        assert_eq!(clean.bandwidth_bps, Some(50_000_000));
+        assert_eq!(clean.loss, 0.0);
+        assert_eq!(clean.jitter, SimDuration::ZERO);
+
+        let wifi = LinkConfig::lossy_wifi();
+        assert_eq!(wifi.latency, SimDuration::from_millis(10));
+        assert_eq!(wifi.bandwidth_bps, Some(20_000_000));
+        assert_eq!(wifi.loss, 0.01);
+        assert_eq!(wifi.jitter, SimDuration::from_millis(3));
+
+        let mobile = LinkConfig::mobile_3g();
+        assert_eq!(mobile.latency, SimDuration::from_millis(50));
+        assert_eq!(mobile.bandwidth_bps, Some(4_000_000));
+        assert_eq!(mobile.loss, 0.02);
+        assert_eq!(mobile.jitter, SimDuration::from_millis(15));
+
+        // Presets order themselves from best to worst effective path.
+        assert!(clean.latency < wifi.latency && wifi.latency < mobile.latency);
+        assert!(clean.loss < wifi.loss && wifi.loss < mobile.loss);
     }
 
     #[test]

@@ -1,13 +1,460 @@
-//! Page-load model (under construction).
+//! Browser page-load model: dependency trees of resources gated on DNS.
 //!
-//! # Planned design
+//! The paper's headline result (§4, Figure 6) is about *user-perceived*
+//! cost: despite DoH's extra bytes, resolver transport barely moves
+//! page-load time, because DNS is a small slice of a page's
+//! dependency-tree makespan — except under loss, where TCP head-of-line
+//! blocking makes DoH-over-h2 visibly diverge from Do53 (Figure 2). This
+//! crate reproduces that experiment shape:
 //!
-//! A browser model for the paper's Figures 1 and 6: pages are dependency
-//! trees of resources spread over several domains (with per-page domain
-//! counts drawn from an Alexa-like distribution), loading triggers DNS
-//! resolutions through a pluggable resolver, and page-load time is the
-//! simulated makespan of the tree. Comparing UDP, DoT and DoH resolvers
-//! under identical page workloads reproduces the paper's finding that
-//! resolver transport barely moves page-load time despite the extra bytes.
+//! * A page is a [`PageSpec`] — a dependency
+//!   tree of resources fanned out over several domains, drawn from the
+//!   Alexa-like [`SiteModel`](dohmark_workload::SiteModel).
+//! * [`load_page`] walks the tree the way a browser does: a resource
+//!   becomes *discoverable* when its parent finishes (you cannot request
+//!   what you have not parsed), each domain's **first** discoverable
+//!   resource triggers one DNS resolution through a registered
+//!   [`Resolver`](dohmark_doh::Resolver) (any transport of the matrix),
+//!   and a resource's fetch starts only once its domain has resolved.
+//! * Resource fetches are modelled analytically by a [`FetchModel`]
+//!   (one round trip plus serialisation of the resource body) and are
+//!   **identical across DNS transports**, so any page-load-time
+//!   difference between two transports is attributable to DNS alone —
+//!   exactly the paper's controlled comparison.
+//! * Page-load time is the makespan of the tree: the simulated time from
+//!   navigation start to the last resource completing, with DNS wakes and
+//!   fetch-completion timers interleaved on the same deterministic
+//!   [`netsim`](dohmark_netsim) event loop, owner-routed via
+//!   [`Driver::dispatch`](dohmark_doh::Driver::dispatch).
+//!
+//! ```
+//! use dohmark_dns_wire::Name;
+//! use dohmark_doh::{Driver, ReusePolicy, TransportConfig, TransportKind};
+//! use dohmark_netsim::{Sim, SimRng};
+//! use dohmark_pageload::{load_page, FetchModel};
+//! use dohmark_workload::SiteModel;
+//!
+//! const DEMO_SEED: u64 = 42;
+//! let cfg = TransportConfig::new(TransportKind::DohH2, ReusePolicy::Persistent);
+//! let mut sim = Sim::new(DEMO_SEED);
+//! let stub = sim.add_host("stub");
+//! let resolver = sim.add_host("resolver");
+//! sim.add_link(stub, resolver, cfg.link);
+//! let mut driver = Driver::new();
+//! driver.register(&mut sim, |sim| cfg.build_server(sim, resolver));
+//! let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
+//!
+//! let zone = Name::parse("sites.dohmark.test").unwrap();
+//! let mut rng = SimRng::new(DEMO_SEED);
+//! let model = SiteModel::new(&mut rng, &zone, 1000, 1.0);
+//! let page = model.page_for(3);
+//! let fetch = FetchModel::from_link(&cfg.link);
+//! let result = load_page(&mut sim, &mut driver, client, &page, &fetch, 1);
+//! assert_eq!(result.unresolved, 0);
+//! assert!(result.makespan > dohmark_netsim::SimDuration::ZERO);
+//! ```
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+use dohmark_doh::{Driver, EndpointId};
+use dohmark_netsim::{LinkConfig, Sim, SimDuration, SimTime, Wake};
+use dohmark_workload::PageSpec;
+
+/// High bits of the fetch-completion timer tokens [`load_page`] arms; the
+/// low 32 bits carry the resource index. Disjoint from the driver's
+/// reserved [`ADVANCE_TOKEN`](dohmark_doh::ADVANCE_TOKEN) (`u64::MAX`)
+/// and from the Do53 retransmission-timer namespace, so the page-load
+/// event loop can claim its own timers by prefix and hand every other
+/// wake to [`Driver::dispatch`].
+pub const FETCH_TOKEN_BASE: u64 = 0xF37C << 32;
+
+/// Analytic model of one resource fetch: a request/response round trip on
+/// the access link plus serialisation of the resource body at the link's
+/// bandwidth.
+///
+/// The model is deliberately DNS-transport-independent — every transport
+/// pays the same fetch cost per resource — so comparing page-load
+/// makespans across [`TransportConfig`](dohmark_doh::TransportConfig)s
+/// isolates the contribution of DNS, which is the paper's Figure 2/6
+/// methodology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchModel {
+    /// One-way propagation delay of the fetch path.
+    pub latency: SimDuration,
+    /// Link used for body serialisation delay.
+    link: LinkConfig,
+}
+
+impl FetchModel {
+    /// A fetch model riding the same access link the DNS traffic uses —
+    /// the usual choice, since stub and content sit behind one last mile.
+    pub fn from_link(link: &LinkConfig) -> FetchModel {
+        FetchModel { latency: link.latency, link: *link }
+    }
+
+    /// Wall-clock cost of fetching a `bytes`-long resource: one round
+    /// trip (request out, first byte back) plus body serialisation.
+    pub fn fetch_time(&self, bytes: u32) -> SimDuration {
+        self.latency + self.latency + self.link.serialise(bytes as usize)
+    }
+}
+
+/// What [`load_page`] measured for one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLoadResult {
+    /// Navigation start to last resource completion. When some resources
+    /// never loaded (`unresolved > 0`) this covers only the part of the
+    /// tree that did.
+    pub makespan: SimDuration,
+    /// Distinct domains resolved (one DNS resolution each).
+    pub dns_queries: u32,
+    /// Sum over domains of the time from query sent to answer in hand.
+    pub dns_wait_total: SimDuration,
+    /// The slowest single domain resolution.
+    pub dns_wait_max: SimDuration,
+    /// Total resources in the page.
+    pub resources: u32,
+    /// Resources that never completed because their domain's resolution
+    /// was lost (and, transitively, their whole subtree): the simulation
+    /// ran dry with them still gated.
+    pub unresolved: u32,
+}
+
+/// Per-domain DNS progress inside one [`load_page`] run.
+#[derive(Debug, Clone, Copy)]
+enum DnsState {
+    /// No discoverable resource has needed this domain yet.
+    Idle,
+    /// Query sent at the recorded time; resources queue behind it.
+    InFlight(SimTime),
+    /// Answer in hand; fetches on this domain start immediately.
+    Resolved,
+}
+
+/// Per-resource progress inside one [`load_page`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ResState {
+    /// Parent not finished — the browser has not discovered it yet.
+    Blocked,
+    /// Discovered, waiting for its domain's DNS resolution.
+    WaitingDns,
+    /// Fetch timer armed.
+    Fetching,
+    /// Fetched.
+    Done,
+}
+
+/// Loads one page through the registered resolver `client`, returning the
+/// tree's makespan and DNS accounting.
+///
+/// The engine runs its own event loop on [`Sim::next_wake_owned`]: wakes
+/// carrying a [`FETCH_TOKEN_BASE`]-prefixed timer token are its own
+/// fetch completions, everything else (DNS transport traffic, TCP timers,
+/// Do53 retransmissions) is handed to [`Driver::dispatch`] for addressed
+/// routing. Domain `d` of the page is resolved with transaction id
+/// `txn_base + d`; the caller owns the transaction-id space and must leave
+/// `page.domains.len()` ids free from `txn_base` (the fleet harnesses
+/// thread a global counter through, exactly like
+/// [`FleetSchedule`](dohmark_workload::FleetSchedule) consumers do).
+///
+/// The loop ends when every resource is fetched or the simulation runs
+/// dry; in the latter case still-gated resources are counted as
+/// `unresolved` (a lost resolution on a retry-less transport starves its
+/// domain and that domain's whole dependency subtree).
+pub fn load_page(
+    sim: &mut Sim,
+    driver: &mut Driver,
+    client: EndpointId,
+    page: &PageSpec,
+    fetch: &FetchModel,
+    txn_base: u16,
+) -> PageLoadResult {
+    let n = page.resources.len();
+    let n_domains = page.domains.len();
+    assert!(n_domains <= usize::from(u16::MAX - txn_base), "transaction-id space exhausted");
+
+    // The dependency tree, inverted: children[r] lists the resources that
+    // become discoverable when r finishes.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (r, res) in page.resources.iter().enumerate() {
+        if let Some(p) = res.parent {
+            children[p].push(r);
+        }
+    }
+
+    let start = sim.now();
+    let mut loader = Loader {
+        client,
+        page,
+        fetch,
+        txn_base,
+        res_state: vec![ResState::Blocked; n],
+        dns: vec![DnsState::Idle; n_domains],
+        dns_waiters: vec![Vec::new(); n_domains],
+        done: 0,
+        dns_queries: 0,
+    };
+    let mut last_done = start;
+    let mut dns_wait_total = SimDuration::ZERO;
+    let mut dns_wait_max = SimDuration::ZERO;
+
+    for r in 0..n {
+        if page.resources[r].parent.is_none() {
+            loader.discover(sim, driver, r);
+        }
+    }
+
+    while loader.done < n as u32 {
+        let Some((wake, owner)) = sim.next_wake_owned() else { break };
+        if let Wake::AppTimer { token, .. } = wake {
+            let idx = token & 0xFFFF_FFFF;
+            if token & !0xFFFF_FFFF == FETCH_TOKEN_BASE && (idx as usize) < n {
+                // One of our fetch-completion timers.
+                let r = idx as usize;
+                debug_assert_eq!(loader.res_state[r], ResState::Fetching);
+                loader.res_state[r] = ResState::Done;
+                loader.done += 1;
+                last_done = sim.now();
+                for c in std::mem::take(&mut children[r]) {
+                    loader.discover(sim, driver, c);
+                }
+                continue;
+            }
+        }
+        // A DNS-transport wake (UDP/TCP readability, retransmission
+        // timers, teardown): addressed routing, then check whether any
+        // in-flight resolution just completed.
+        driver.dispatch(sim, &wake, owner);
+        for d in 0..n_domains {
+            let DnsState::InFlight(sent) = loader.dns[d] else { continue };
+            if driver.take_response(client, txn_base + d as u16).is_none() {
+                continue;
+            }
+            let wait = sim.now() - sent;
+            dns_wait_total = dns_wait_total + wait;
+            if wait > dns_wait_max {
+                dns_wait_max = wait;
+            }
+            loader.dns[d] = DnsState::Resolved;
+            for r in std::mem::take(&mut loader.dns_waiters[d]) {
+                loader.start_fetch(sim, r);
+            }
+        }
+    }
+
+    PageLoadResult {
+        makespan: last_done - start,
+        dns_queries: loader.dns_queries,
+        dns_wait_total,
+        dns_wait_max,
+        resources: n as u32,
+        unresolved: n as u32 - loader.done,
+    }
+}
+
+/// The mutable browser state one [`load_page`] run threads through
+/// discovery: which resources are where in their lifecycle, which domains
+/// have resolved, and who queues behind an in-flight resolution.
+struct Loader<'a> {
+    client: EndpointId,
+    page: &'a PageSpec,
+    fetch: &'a FetchModel,
+    txn_base: u16,
+    res_state: Vec<ResState>,
+    dns: Vec<DnsState>,
+    /// Resources discovered while their domain's query is in flight.
+    dns_waiters: Vec<Vec<usize>>,
+    done: u32,
+    dns_queries: u32,
+}
+
+impl Loader<'_> {
+    /// Discovery: called when a resource's parent is done (or at
+    /// navigation start for roots). Starts the fetch if the domain is
+    /// resolved, otherwise queues behind the domain's (possibly just
+    /// issued) resolution.
+    fn discover(&mut self, sim: &mut Sim, driver: &mut Driver, r: usize) {
+        let d = self.page.resources[r].domain;
+        match self.dns[d] {
+            DnsState::Resolved => self.start_fetch(sim, r),
+            DnsState::InFlight(_) => {
+                self.res_state[r] = ResState::WaitingDns;
+                self.dns_waiters[d].push(r);
+            }
+            DnsState::Idle => {
+                self.res_state[r] = ResState::WaitingDns;
+                self.dns_waiters[d].push(r);
+                self.dns[d] = DnsState::InFlight(sim.now());
+                self.dns_queries += 1;
+                driver.send_query(
+                    sim,
+                    self.client,
+                    &self.page.domains[d],
+                    self.txn_base + d as u16,
+                );
+            }
+        }
+    }
+
+    fn start_fetch(&mut self, sim: &mut Sim, r: usize) {
+        self.res_state[r] = ResState::Fetching;
+        sim.schedule_app_in(
+            self.fetch.fetch_time(self.page.resources[r].bytes),
+            FETCH_TOKEN_BASE | r as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohmark_dns_wire::Name;
+    use dohmark_doh::{ReusePolicy, TransportConfig, TransportKind, UdpRetry};
+    use dohmark_netsim::SimRng;
+    use dohmark_workload::{Resource, SiteModel};
+
+    const TEST_SEED: u64 = 77;
+
+    /// A hand-built two-domain page: root HTML on d0 with two children,
+    /// one of which pulls a third-party resource on d1 with its own child.
+    fn two_domain_page() -> PageSpec {
+        let d0 = Name::parse("s1.sites.dohmark.test").unwrap();
+        let d1 = Name::parse("d1.s1.sites.dohmark.test").unwrap();
+        PageSpec {
+            site_rank: 1,
+            domains: vec![d0, d1],
+            resources: vec![
+                Resource { domain: 0, parent: None, bytes: 10_000 },
+                Resource { domain: 0, parent: Some(0), bytes: 5_000 },
+                Resource { domain: 1, parent: Some(0), bytes: 20_000 },
+                Resource { domain: 1, parent: Some(2), bytes: 1_000 },
+            ],
+        }
+    }
+
+    fn harness(cfg: &TransportConfig, seed: u64) -> (Sim, Driver, EndpointId) {
+        let mut sim = Sim::new(seed);
+        let stub = sim.add_host("stub");
+        let resolver = sim.add_host("resolver");
+        sim.add_link(stub, resolver, cfg.link);
+        let mut driver = Driver::new();
+        driver.register(&mut sim, |sim| cfg.build_server(sim, resolver));
+        let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
+        (sim, driver, client)
+    }
+
+    #[test]
+    fn loads_a_dependency_tree_and_accounts_dns() {
+        let cfg = TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh);
+        let (mut sim, mut driver, client) = harness(&cfg, TEST_SEED);
+        let page = two_domain_page();
+        let fetch = FetchModel::from_link(&cfg.link);
+        let result = load_page(&mut sim, &mut driver, client, &page, &fetch, 1);
+        assert_eq!(result.unresolved, 0);
+        assert_eq!(result.resources, 4);
+        assert_eq!(result.dns_queries, 2, "one resolution per distinct domain");
+        assert!(result.dns_wait_total >= result.dns_wait_max);
+        assert!(result.dns_wait_max > SimDuration::ZERO);
+        // The critical path serialises: DNS(d0) + fetch(0), then in
+        // parallel fetch(1) and DNS(d1) + fetch(2) + fetch(3).
+        let floor = result.dns_wait_max
+            + fetch.fetch_time(10_000)
+            + fetch.fetch_time(20_000)
+            + fetch.fetch_time(1_000);
+        assert!(result.makespan >= floor, "{:?} < {floor:?}", result.makespan);
+    }
+
+    #[test]
+    fn makespan_respects_dependency_chains_over_width() {
+        // A 3-deep chain must take at least 3 fetch round trips; 3
+        // siblings of the same sizes fan out and finish sooner.
+        let d0 = Name::parse("s2.sites.dohmark.test").unwrap();
+        let chain = PageSpec {
+            site_rank: 2,
+            domains: vec![d0.clone()],
+            resources: vec![
+                Resource { domain: 0, parent: None, bytes: 1_000 },
+                Resource { domain: 0, parent: Some(0), bytes: 1_000 },
+                Resource { domain: 0, parent: Some(1), bytes: 1_000 },
+            ],
+        };
+        let wide = PageSpec {
+            site_rank: 2,
+            domains: vec![d0],
+            resources: vec![
+                Resource { domain: 0, parent: None, bytes: 1_000 },
+                Resource { domain: 0, parent: Some(0), bytes: 1_000 },
+                Resource { domain: 0, parent: Some(0), bytes: 1_000 },
+            ],
+        };
+        let cfg = TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh);
+        let fetch = FetchModel::from_link(&cfg.link);
+        let run = |page: &PageSpec| {
+            let (mut sim, mut driver, client) = harness(&cfg, TEST_SEED);
+            load_page(&mut sim, &mut driver, client, page, &fetch, 1)
+        };
+        let deep = run(&chain);
+        let shallow = run(&wide);
+        assert_eq!(deep.unresolved, 0);
+        assert_eq!(shallow.unresolved, 0);
+        assert!(deep.makespan > shallow.makespan, "{deep:?} vs {shallow:?}");
+    }
+
+    #[test]
+    fn lost_resolution_starves_the_domain_subtree() {
+        // A dead link with a retry-less stub: nothing ever resolves, so
+        // the root never fetches and the whole tree is unresolved.
+        let mut cfg = TransportConfig::new(TransportKind::Do53, ReusePolicy::Fresh);
+        cfg.link = cfg.link.loss(1.0);
+        let (mut sim, mut driver, client) = harness(&cfg, TEST_SEED);
+        let page = two_domain_page();
+        let fetch = FetchModel::from_link(&cfg.link);
+        let result = load_page(&mut sim, &mut driver, client, &page, &fetch, 1);
+        assert_eq!(result.unresolved, 4);
+        assert_eq!(result.makespan, SimDuration::ZERO);
+        // Only d0 was ever discoverable: d1's resources sit behind the
+        // root that never loaded.
+        assert_eq!(result.dns_queries, 1);
+    }
+
+    #[test]
+    fn every_transport_loads_model_pages_deterministically() {
+        let zone = Name::parse("sites.dohmark.test").unwrap();
+        for kind in TransportKind::ALL {
+            let cfg = TransportConfig::new(kind, ReusePolicy::Persistent)
+                .with_udp_retry(UdpRetry::standard());
+            let run = || {
+                let (mut sim, mut driver, client) = harness(&cfg, TEST_SEED);
+                let mut rng = SimRng::new(TEST_SEED);
+                let model = SiteModel::new(&mut rng, &zone, 500, 1.0);
+                let fetch = FetchModel::from_link(&cfg.link);
+                let mut txn_base = 1u16;
+                let mut results = Vec::new();
+                for rank in [1usize, 5, 17] {
+                    let page = model.page_for(rank);
+                    let r = load_page(&mut sim, &mut driver, client, &page, &fetch, txn_base);
+                    txn_base += page.domains.len() as u16;
+                    results.push(r);
+                }
+                results
+            };
+            let first = run();
+            let second = run();
+            assert_eq!(first, second, "{kind:?} not deterministic");
+            for r in &first {
+                assert_eq!(r.unresolved, 0, "{kind:?}: {r:?}");
+                assert!(r.makespan > SimDuration::ZERO);
+                assert!(r.dns_queries >= 1 && r.resources >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_model_charges_round_trip_plus_serialisation() {
+        let link = LinkConfig::with_rtt(SimDuration::from_millis(10)).bandwidth_mbps(8);
+        let fetch = FetchModel::from_link(&link);
+        // 5 ms out + 5 ms back + 1000 B at 1 B/µs.
+        assert_eq!(fetch.fetch_time(1000), SimDuration::from_millis(11));
+    }
+}

@@ -142,6 +142,13 @@ pub const RULES: &[Rule] = &[
         check: Check::File(no_bare_unwrap_in_core),
     },
     Rule {
+        name: "seed-discipline",
+        summary: "a literal or misnamed seed fed to SimRng::new / split / split_rng in \
+                  non-test code — seeds and stream labels are named *_SEED / *_STREAM \
+                  constants",
+        check: Check::File(seed_discipline),
+    },
+    Rule {
         name: "wake-via-driver",
         summary: "Sim wake scheduling (schedule_app, next_wake*) called or reachable \
                   from doh endpoint code outside the driver — wakes route through the \
@@ -573,6 +580,85 @@ fn no_bare_unwrap_in_core(view: &FileView, sink: &mut Sink) {
     }
 }
 
+/// The leading token of the first argument after an open paren: a
+/// digit-leading literal (`42`, `0xBEEF`) or the last segment of an
+/// identifier path (`SiteModel::RANK_STREAM` → `RANK_STREAM`). `None`
+/// for anything else — closures, string/char separators (already
+/// scrubbed to bare quotes), references.
+fn leading_arg_token(after_paren: &str) -> Option<String> {
+    let rest = after_paren.trim_start();
+    let first = rest.chars().next()?;
+    if !is_ident_char(first) {
+        return None;
+    }
+    let path: String = rest.chars().take_while(|&c| is_ident_char(c) || c == ':').collect();
+    let last = path.rsplit("::").next().unwrap_or(&path).trim_matches(':');
+    if last.is_empty() {
+        None
+    } else {
+        Some(last.to_string())
+    }
+}
+
+/// An ALL_CAPS constant name (at least one uppercase letter; only
+/// uppercase, digits and underscores).
+fn is_screaming(tok: &str) -> bool {
+    tok.chars().any(|c| c.is_ascii_uppercase())
+        && tok.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Seeds and stream labels decide every simulated byte, so they must be
+/// auditable at the call site: a literal `42` fed to `SimRng::new`, or a
+/// constant whose name hides that it is a seed, is how two subsystems
+/// end up sharing a stream by accident. Outside test code the first
+/// argument of `SimRng::new` / `.split` / `.split_rng` must be a named
+/// `*_SEED` / `*_STREAM` constant (or a runtime variable such as a sweep
+/// seed, which lowercase names are).
+fn seed_discipline(view: &FileView, sink: &mut Sink) {
+    for (i, line) in view.lines.iter().enumerate() {
+        if view.test_line(i) {
+            continue;
+        }
+        for (api, method) in [("SimRng::new", false), ("split_rng", true), ("split", true)] {
+            let mut from = 0;
+            while let Some(pos) = find_token(&line.code, api, from) {
+                from = pos + api.len();
+                if method && !line.code[..pos].trim_end().ends_with('.') {
+                    continue;
+                }
+                let Some(args) = line.code[from..].trim_start().strip_prefix('(') else {
+                    continue;
+                };
+                let Some(tok) = leading_arg_token(args) else { continue };
+                if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    sink.report(
+                        i,
+                        "seed-discipline",
+                        format!(
+                            "literal seed `{tok}` passed to `{api}` — name it as a \
+                             `*_SEED`/`*_STREAM` constant"
+                        ),
+                    );
+                } else if is_screaming(&tok)
+                    && !(tok.ends_with("_SEED")
+                        || tok.ends_with("_STREAM")
+                        || tok == "SEED"
+                        || tok == "STREAM")
+                {
+                    sink.report(
+                        i,
+                        "seed-discipline",
+                        format!(
+                            "seed constant `{tok}` passed to `{api}` — rename it to end \
+                             in `_SEED` or `_STREAM` so the stream is auditable"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------------
 // The workspace rules (v2): structural checks over the item model
 // ------------------------------------------------------------------
@@ -897,6 +983,46 @@ mod tests {
         assert_eq!(run("crates/netsim/src/tcp.rs", bare).len(), 1);
         assert!(run("crates/netsim/src/tcp.rs", documented).is_empty());
         assert!(run("crates/bench/src/stats.rs", bare).is_empty(), "bench is not a core crate");
+    }
+
+    #[test]
+    fn literal_seeds_are_flagged_outside_tests() {
+        let src = "pub fn f(sim: &mut Sim, rng: &mut SimRng) {\n\
+                   \x20   let a = SimRng::new(42);\n\
+                   \x20   let b = rng.split(0xBEEF);\n\
+                   \x20   let c = sim.split_rng(7);\n}\n";
+        let found = run("crates/workload/src/lib.rs", src);
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert!(found.iter().all(|f| f.rule == "seed-discipline"));
+        assert!(found[1].message.contains("0xBEEF"));
+    }
+
+    #[test]
+    fn named_seed_constants_and_runtime_seeds_are_legal() {
+        let src = "pub fn f(sim: &mut Sim, rng: &mut SimRng, seed: u64) {\n\
+                   \x20   let a = SimRng::new(BOOT_SEED);\n\
+                   \x20   let b = rng.split(Self::RANK_STREAM);\n\
+                   \x20   let c = sim.split_rng(seed);\n}\n";
+        assert!(run("crates/workload/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn misnamed_seed_constants_are_flagged() {
+        let src = "pub fn f(rng: &mut SimRng) -> SimRng {\n    rng.split(LANE_COUNT)\n}\n";
+        let found = run("crates/workload/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!((found[0].rule, found[0].line), ("seed-discipline", 2));
+        assert!(found[0].message.contains("LANE_COUNT"));
+    }
+
+    #[test]
+    fn string_splits_and_test_seeds_do_not_trip_seed_discipline() {
+        let strings = "pub fn f(s: &str) -> Option<&str> {\n    s.split(\"::\").next()\n}\n";
+        assert!(run("crates/workload/src/lib.rs", strings).is_empty());
+        let test_code = "fn mk() -> SimRng { SimRng::new(7) }\n";
+        assert!(run("crates/workload/tests/seeds.rs", test_code).is_empty());
+        let unit = "#[cfg(test)]\nmod tests {\n    fn mk() -> SimRng { SimRng::new(7) }\n}\n";
+        assert!(run("crates/workload/src/lib.rs", unit).is_empty());
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//@ path: crates/workload/src/fake_seeds.rs
+//! Seed-discipline fixture: literal seeds and a misnamed stream
+//! constant all flag; named `*_SEED`/`*_STREAM` constants, runtime
+//! seeds and test code stay legal.
+
+pub const BOOT_SEED: u64 = 0xD00D;
+pub const LANE_STREAM: u64 = 2;
+const LANE_COUNT: u64 = 7;
+
+pub fn fresh() -> SimRng {
+    SimRng::new(42)
+}
+
+pub fn shard(rng: &mut SimRng) -> SimRng {
+    rng.split(0xBEEF)
+}
+
+pub fn misnamed(sim: &mut Sim) -> SimRng {
+    sim.split_rng(LANE_COUNT)
+}
+
+pub fn legal(sim: &mut Sim, rng: &mut SimRng, seed: u64) -> (SimRng, SimRng, SimRng) {
+    let _ = seed;
+    (SimRng::new(BOOT_SEED), rng.split(LANE_STREAM), sim.split_rng(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literal_seeds_are_fine_in_tests() {
+        let mut rng = SimRng::new(7);
+        let _ = rng.split(1);
+    }
+}

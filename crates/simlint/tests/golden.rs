@@ -34,8 +34,8 @@ fn fixture_sources() -> Vec<PathBuf> {
 fn every_fixture_matches_its_expected_findings() {
     let sources = fixture_sources();
     assert!(
-        sources.len() >= 12,
-        "golden corpus shrank: expected at least 12 fixtures, found {}",
+        sources.len() >= 13,
+        "golden corpus shrank: expected at least 13 fixtures, found {}",
         sources.len()
     );
     for path in sources {

@@ -181,16 +181,7 @@ impl ZipfNames {
     /// to the `10^7` names the label width can express.
     pub fn new(rng: SimRng, zone: &Name, universe: usize, exponent: f64) -> ZipfNames {
         let universe = universe.clamp(1, 10usize.pow(ZipfNames::DIGITS as u32));
-        let mut cdf = Vec::with_capacity(universe);
-        let mut total = 0.0;
-        for rank in 0..universe {
-            total += 1.0 / ((rank + 1) as f64).powf(exponent);
-            cdf.push(total);
-        }
-        for c in &mut cdf {
-            *c /= total;
-        }
-        ZipfNames { rng, zone: zone.clone(), cdf }
+        ZipfNames { rng, zone: zone.clone(), cdf: zipf_cdf(universe, exponent) }
     }
 
     /// The number of distinct names in the universe.
@@ -212,9 +203,28 @@ impl ZipfNames {
     /// Samples the next name.
     pub fn next_name(&mut self) -> Name {
         let u = self.rng.next_f64();
-        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
-        self.name_for(rank)
+        self.name_for(zipf_sample(&self.cdf, u))
     }
+}
+
+/// Normalised cumulative Zipf weights over `universe` ranks:
+/// `cdf[r] = P(rank ≤ r)` with rank `r` weighted `1 / (r + 1)^exponent`.
+fn zipf_cdf(universe: usize, exponent: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(universe);
+    let mut total = 0.0;
+    for rank in 0..universe {
+        total += 1.0 / ((rank + 1) as f64).powf(exponent);
+        cdf.push(total);
+    }
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Inverts a [`zipf_cdf`] at the uniform draw `u`.
+fn zipf_sample(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
 }
 
 /// A multi-client workload: every stub client gets its own Poisson arrival
@@ -301,6 +311,193 @@ impl FleetSchedule {
         names.sort_by_key(|n| n.to_string());
         names.dedup();
         names.len()
+    }
+}
+
+/// One resource of a page's dependency tree: a fetch on one of the
+/// page's domains, startable only once its parent resource finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Index into [`PageSpec::domains`] — the domain the fetch needs a
+    /// DNS answer for.
+    pub domain: usize,
+    /// Index of the resource that references this one (`None` only for
+    /// the root document, resource 0). Always an *earlier* index, so the
+    /// resource list is a topological order of the tree.
+    pub parent: Option<usize>,
+    /// Response body size of the fetch.
+    pub bytes: u32,
+}
+
+/// One page load: the domains it touches and the dependency tree of
+/// resources spread over them. A browser with a per-page DNS cache
+/// issues exactly one resolution per entry of `domains` — the paper's
+/// Figure 1 "DNS queries per page" quantity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageSpec {
+    /// Popularity rank of the site this page belongs to (0 = most
+    /// popular). The page shape is a deterministic function of the rank.
+    pub site_rank: usize,
+    /// Distinct domains the page's resources fan out over; index 0 is
+    /// the primary domain serving the root document.
+    pub domains: Vec<Name>,
+    /// The dependency tree in topological (discovery) order; resource 0
+    /// is the root document on domain 0.
+    pub resources: Vec<Resource>,
+}
+
+impl PageSpec {
+    /// DNS resolutions a per-page-cached browser issues: one per domain.
+    pub fn dns_queries(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Depth of the dependency tree (the root document is depth 0).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.resources.len()];
+        for (i, r) in self.resources.iter().enumerate() {
+            if let Some(p) = r.parent {
+                depth[i] = depth[p] + 1;
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Total bytes of all resource bodies.
+    pub fn total_bytes(&self) -> u64 {
+        self.resources.iter().map(|r| u64::from(r.bytes)).sum()
+    }
+}
+
+/// An Alexa-like site universe: Zipf-distributed site popularity, and a
+/// deterministic per-site page shape — how many domains the page fans
+/// out over, how many resources each serves, and how those resources
+/// depend on each other.
+///
+/// Popularity and shape draw from independent [`SimRng::split`] streams
+/// of the constructor's rng, and each site's shape derives from its
+/// *rank* alone — so `page_for(rank)` replays bit for bit no matter how
+/// many pages were sampled before it, and two experiment cells visiting
+/// the same site load the identical page.
+///
+/// The shape distributions target the paper's Figure 1: most pages touch
+/// a handful of domains, the tail stretches to dozens (mean ≈ 8 with the
+/// defaults), and each domain serves a few resources of
+/// lognormal-distributed size.
+#[derive(Debug, Clone)]
+pub struct SiteModel {
+    zone: Name,
+    /// Normalised cumulative Zipf weights over site ranks.
+    cdf: Vec<f64>,
+    /// Which site each [`SiteModel::next_page`] visits.
+    rank_rng: SimRng,
+    /// Parent stream of the per-rank shape streams.
+    shape_base: SimRng,
+    /// Mean of the exponential extra-domain count (domains = 1 + extra).
+    mean_extra_domains: f64,
+    /// Mean of the exponential extra-resource count per domain.
+    mean_extra_resources: f64,
+    /// Lognormal (mu, sigma) of per-resource body bytes.
+    bytes_mu: f64,
+    bytes_sigma: f64,
+}
+
+impl SiteModel {
+    /// Split-stream label for the site-popularity draw.
+    pub const RANK_STREAM: u64 = 5;
+    /// Split-stream label the per-rank page shapes derive from.
+    pub const SHAPE_STREAM: u64 = 6;
+
+    /// Hard cap on domains per page — bounds the DNS fan-out (and the
+    /// transaction-id budget a harness must reserve per page).
+    pub const MAX_DOMAINS: usize = 64;
+    /// Hard cap on resources per domain.
+    const MAX_RESOURCES_PER_DOMAIN: usize = 12;
+    /// Hard cap on dependency depth; deeper picks re-parent to the root.
+    const MAX_DEPTH: usize = 5;
+    /// Body-size clamp, in bytes.
+    const BYTES_RANGE: (f64, f64) = (200.0, 2_000_000.0);
+
+    /// A model of `sites` sites under `zone` with Zipf popularity
+    /// exponent `exponent` and the default Figure-1-like shape
+    /// distributions. Draws two independent streams
+    /// ([`SiteModel::RANK_STREAM`], [`SiteModel::SHAPE_STREAM`]) from
+    /// `rng`.
+    pub fn new(rng: &mut SimRng, zone: &Name, sites: usize, exponent: f64) -> SiteModel {
+        let sites = sites.clamp(1, 1_000_000);
+        SiteModel {
+            zone: zone.clone(),
+            cdf: zipf_cdf(sites, exponent),
+            rank_rng: rng.split(SiteModel::RANK_STREAM),
+            shape_base: rng.split(SiteModel::SHAPE_STREAM),
+            mean_extra_domains: 7.0,
+            mean_extra_resources: 2.0,
+            bytes_mu: 9.5,
+            bytes_sigma: 1.0,
+        }
+    }
+
+    /// The number of sites in the universe.
+    pub fn sites(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The page of the `rank`-th most popular site — a pure function of
+    /// the model seed and `rank`.
+    pub fn page_for(&self, rank: usize) -> PageSpec {
+        let rank = rank.min(self.cdf.len() - 1);
+        let mut rng = self.shape_base.clone().split(rank as u64);
+        let extra_domains =
+            (rng.exp_f64(self.mean_extra_domains) as usize).min(SiteModel::MAX_DOMAINS - 1);
+        let n_domains = 1 + extra_domains;
+        let site = self
+            .zone
+            .child(&format!("s{rank}"))
+            .expect("short numeric label under a valid zone is valid");
+        let domains: Vec<Name> = (0..n_domains)
+            .map(|d| {
+                if d == 0 {
+                    site.clone()
+                } else {
+                    site.child(&format!("d{d}")).expect("short numeric label is valid")
+                }
+            })
+            .collect();
+
+        let mut resources =
+            vec![Resource { domain: 0, parent: None, bytes: self.draw_bytes(&mut rng) }];
+        let mut depth = vec![0usize];
+        for domain in 0..n_domains {
+            let extra = (rng.exp_f64(self.mean_extra_resources) as usize)
+                .min(SiteModel::MAX_RESOURCES_PER_DOMAIN - 1);
+            // Domain 0 already serves the root document; every other
+            // domain serves at least one resource (that's what makes it
+            // part of the page).
+            let count = if domain == 0 { extra } else { 1 + extra };
+            for _ in 0..count {
+                let pick = rng.below(resources.len() as u64) as usize;
+                let parent = if depth[pick] >= SiteModel::MAX_DEPTH { 0 } else { pick };
+                depth.push(depth[parent] + 1);
+                resources.push(Resource {
+                    domain,
+                    parent: Some(parent),
+                    bytes: self.draw_bytes(&mut rng),
+                });
+            }
+        }
+        PageSpec { site_rank: rank, domains, resources }
+    }
+
+    /// Samples the next page visit: a Zipf draw over site ranks, then
+    /// that site's deterministic page.
+    pub fn next_page(&mut self) -> PageSpec {
+        let u = self.rank_rng.next_f64();
+        self.page_for(zipf_sample(&self.cdf, u))
+    }
+
+    fn draw_bytes(&self, rng: &mut SimRng) -> u32 {
+        let (lo, hi) = SiteModel::BYTES_RANGE;
+        rng.lognormal(self.bytes_mu, self.bytes_sigma).clamp(lo, hi) as u32
     }
 }
 
@@ -473,5 +670,68 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(names1.next_name(), names2.next_name());
         }
+    }
+
+    #[test]
+    fn site_pages_are_well_formed_dependency_trees() {
+        let mut rng = SimRng::new(11);
+        let mut model = SiteModel::new(&mut rng, &zone(), 200, 1.0);
+        for _ in 0..50 {
+            let page = model.next_page();
+            assert!(!page.domains.is_empty() && page.domains.len() <= SiteModel::MAX_DOMAINS);
+            assert_eq!(page.dns_queries(), page.domains.len());
+            assert_eq!(page.resources[0].parent, None, "resource 0 is the root document");
+            assert_eq!(page.resources[0].domain, 0);
+            let mut touched = vec![false; page.domains.len()];
+            for (i, r) in page.resources.iter().enumerate() {
+                touched[r.domain] = true;
+                assert!(r.bytes >= 200);
+                if let Some(p) = r.parent {
+                    assert!(p < i, "parents precede children (topological order)");
+                } else {
+                    assert_eq!(i, 0, "only the root lacks a parent");
+                }
+            }
+            assert!(touched.iter().all(|&t| t), "every listed domain serves a resource");
+            assert!(page.depth() <= 5 + 1);
+            for d in page.domains {
+                assert!(d.is_subdomain_of(&zone()));
+            }
+        }
+    }
+
+    #[test]
+    fn page_shape_depends_only_on_rank_not_on_sampling_history() {
+        let mut rng1 = SimRng::new(4);
+        let model1 = SiteModel::new(&mut rng1, &zone(), 100, 1.0);
+        let mut rng2 = SimRng::new(4);
+        let mut model2 = SiteModel::new(&mut rng2, &zone(), 100, 1.0);
+        // Drain model2's popularity stream; shapes must be unaffected.
+        for _ in 0..40 {
+            model2.next_page();
+        }
+        for rank in [0, 1, 17, 99] {
+            assert_eq!(model1.page_for(rank), model2.page_for(rank));
+        }
+        assert_ne!(model1.page_for(0), model1.page_for(1), "different sites, different pages");
+        let mut rng3 = SimRng::new(5);
+        let model3 = SiteModel::new(&mut rng3, &zone(), 100, 1.0);
+        assert_ne!(model1.page_for(0), model3.page_for(0), "different seeds, different shapes");
+    }
+
+    #[test]
+    fn site_popularity_is_zipf_skewed_and_domain_counts_have_a_tail() {
+        let mut rng = SimRng::new(7);
+        let mut model = SiteModel::new(&mut rng, &zone(), 50, 1.0);
+        let ranks: Vec<usize> = (0..2000).map(|_| model.next_page().site_rank).collect();
+        let top = ranks.iter().filter(|&&r| r == 0).count();
+        let mid = ranks.iter().filter(|&&r| r == 25).count();
+        assert!(top > 5 * mid.max(1), "rank 0 ({top}) must dwarf rank 25 ({mid})");
+
+        let counts: Vec<usize> = (0..200).map(|r| model.page_for(r).dns_queries()).collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((2.0..20.0).contains(&mean), "mean domains/page {mean} out of range");
+        assert!(counts.contains(&1), "some pages stay on one domain");
+        assert!(counts.iter().any(|&c| c > 15), "the domain fan-out must have a tail");
     }
 }

@@ -20,6 +20,7 @@ use dohmark::workload::QuerySchedule;
 
 const SEED: u64 = 42;
 const RESOLUTIONS: u16 = 20;
+const WORKLOAD_STREAM: u64 = 0;
 
 /// One scenario: a fresh simulator, the same seeded workload, N sequential
 /// resolutions driven through a registered client/server pair.
@@ -33,7 +34,7 @@ fn run(cfg: &TransportConfig) -> CostMeter {
     let client = driver.register_resolver(&mut sim, |_| cfg.build_client(stub, resolver));
     // The workload RNG is split from the simulator seed, so every
     // scenario resolves the identical (arrival, name) stream.
-    let mut rng = sim.split_rng(0);
+    let mut rng = sim.split_rng(WORKLOAD_STREAM);
     let zone = Name::parse("dohmark.test").unwrap();
     let schedule = QuerySchedule::new(&mut rng, SimDuration::from_millis(50), 8, &zone);
     for (i, (at, name)) in schedule.take(usize::from(RESOLUTIONS)).enumerate() {

@@ -21,10 +21,13 @@
 //!   pair, so experiments iterate the whole transport matrix.
 //! * [`survey`] — the DoH provider landscape survey, paper Tables 1–2
 //!   (planned).
-//! * [`workload`] — seeded Poisson query arrivals and constant-length
-//!   random query names.
-//! * [`pageload`] — browser model and page-load experiments, Figures 1 and 6
-//!   (planned).
+//! * [`workload`] — seeded Poisson query arrivals, Zipf name universes,
+//!   multi-client fleet schedules, and the Alexa-like site model
+//!   (`SiteModel`) whose pages feed the page-load engine.
+//! * [`pageload`] — the browser page-load engine, Figures 1, 2 and 6:
+//!   pages as dependency trees of resources over several domains, each
+//!   fetch gated on resolving its domain through any [`doh::Resolver`],
+//!   page-load time as the simulated makespan from `pageload::load_page`.
 //!
 //! ## Quickstart
 //!
